@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Consolidated workloads: two VMs sharing one NUMA machine.
+
+Reproduces the scenario of the paper's Figures 8 and 9 on one pair of
+applications: a memory-local one (cg.C) next to a master-slave one
+(sp.C), first each on its own half of the nodes (colocated), then both
+spanning all 48 cores with two vCPUs per physical CPU (consolidated).
+For each setup, compare Xen's default round-1G against each VM running
+its best policy.
+
+Run:
+    python examples/consolidation.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.policies.base import PolicyName, PolicySpec
+from repro.sim.engine import run_apps
+from repro.sim.environment import VmSpec, XenEnvironment
+from repro.workloads.suite import get_app
+
+ROUND_1G = PolicySpec(PolicyName.ROUND_1G)
+BEST = {
+    "cg.C": PolicySpec(PolicyName.FIRST_TOUCH),
+    "sp.C": PolicySpec(PolicyName.ROUND_4K, carrefour=True),
+}
+
+
+def colocated(policies):
+    """24 vCPUs each, disjoint node halves."""
+    specs = []
+    for i, name in enumerate(("cg.C", "sp.C")):
+        home = [0, 1, 2, 3] if i == 0 else [4, 5, 6, 7]
+        pin = [c for node in home for c in range(node * 6, node * 6 + 6)]
+        specs.append(
+            VmSpec(
+                app=get_app(name),
+                policy=policies[name],
+                num_vcpus=24,
+                home_nodes=home,
+                pin_pcpus=pin,
+            )
+        )
+    return run_apps(XenEnvironment(), specs)
+
+
+def consolidated(policies):
+    """48 vCPUs each, every pCPU runs one vCPU of each VM."""
+    specs = [
+        VmSpec(
+            app=get_app(name),
+            policy=policies[name],
+            num_vcpus=48,
+            home_nodes=list(range(8)),
+            pin_pcpus=list(range(48)),
+        )
+        for name in ("cg.C", "sp.C")
+    ]
+    return run_apps(XenEnvironment(), specs)
+
+
+def main() -> int:
+    rows = []
+    for label, runner in (("colocated 2x24", colocated), ("consolidated 2x48", consolidated)):
+        default = runner({"cg.C": ROUND_1G, "sp.C": ROUND_1G})
+        best = runner(BEST)
+        for d, b in zip(default, best):
+            rows.append(
+                [
+                    label,
+                    d.app,
+                    BEST[d.app].label,
+                    f"{d.completion_seconds:.1f}s",
+                    f"{b.completion_seconds:.1f}s",
+                    f"{d.completion_seconds / b.completion_seconds - 1.0:+.0%}",
+                ]
+            )
+        print(f"finished {label}")
+    print()
+    print(
+        format_table(
+            ["setup", "vm", "policy", "round-1G", "best", "improvement"],
+            rows,
+            title="Two-VM consolidation (Figures 8 and 9 scenario)",
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

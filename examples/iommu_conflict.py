@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""The first-touch / IOMMU incompatibility, step by step (section 4.4.1).
+
+Walks the exact failure sequence:
+
+1. a domU under Xen+ uses the PCI passthrough driver — device DMA
+   translates guest-physical addresses through the IOMMU, i.e. through
+   the hypervisor page table;
+2. the administrator switches the domain to first-touch; the guest
+   reports its free pages and the hypervisor *invalidates* their entries
+   (that is how first-touch traps first accesses);
+3. the guest hands a freshly-allocated (still invalid) page to the disk
+   as a DMA buffer: the IOMMU aborts the transfer, the guest sees EIO;
+4. the hypervisor only finds out from the asynchronous IOMMU error log —
+   after the guest already failed. Nothing it can do.
+
+Run:
+    python examples/iommu_conflict.py
+"""
+
+from repro.core.interface import ExternalInterface
+from repro.core.policies.base import PolicyName
+from repro.guest.page_alloc import GuestPageAllocator
+from repro.guest.pv_patch import PvNumaPatch
+from repro.hardware.presets import amd48
+from repro.hypervisor.xen import Hypervisor, XEN_PLUS
+from repro.vio.disk import DiskModel
+from repro.vio.dma import DmaEngine
+from repro.vio.drivers import PassthroughDriver
+
+
+def main() -> int:
+    machine = amd48()
+    hypervisor = Hypervisor(machine, features=XEN_PLUS)
+    domain = hypervisor.create_domain("db-server", num_vcpus=4, memory_pages=2048)
+    allocator = GuestPageAllocator(first_gpfn=0, num_pages=2048)
+    patch = PvNumaPatch(
+        allocator, ExternalInterface(hypervisor.hypercalls, domain.domain_id)
+    )
+    driver = PassthroughDriver(DiskModel(), DmaEngine(machine.iommu), machine.config)
+
+    print("== step 1: passthrough I/O works under round-4K")
+    buf = [allocator.alloc() for _ in range(8)]
+    result = driver.read_into(domain, buf)
+    print(f"   io_mode={hypervisor.io_mode(domain)}  "
+          f"read {result.nbytes >> 10} KiB ok={result.ok}")
+
+    print("== step 2: switch to first-touch (guest reports its free list)")
+    patch.select_policy(PolicyName.FIRST_TOUCH.value)
+    reported = patch.report_free_pages()
+    print(f"   reported {reported} free pages; "
+          f"{domain.p2m.invalidations} p2m entries invalidated")
+    print(f"   hypervisor now says io_mode={hypervisor.io_mode(domain)!r} "
+          "(the evaluation honours this and falls back)")
+
+    print("== step 3: ignore the fallback and DMA into a fresh buffer anyway")
+    dma_buf = [allocator.alloc() for _ in range(8)]
+    patch.flush()
+    result = driver.read_into(domain, dma_buf)
+    print(f"   guest sees: ok={result.ok}, {result.io_errors} I/O errors "
+          f"({result.nbytes >> 10} KiB of {len(dma_buf) * machine.config.page_bytes >> 10} arrived)")
+
+    print("== step 4: the hypervisor learns about it asynchronously")
+    events = machine.iommu.drain_error_log()
+    print(f"   IOMMU error log: {len(events)} aborted translations "
+          f"(gpfns {[hex(e.gpfn) for e in events[:4]]}...)")
+    print("   -> too late: the guest already returned EIO to the process.")
+
+    print("== step 5: pages the CPU touched first are fine")
+    for gpfn in dma_buf:
+        hypervisor.guest_access(domain, 0, gpfn)
+    result = driver.read_into(domain, dma_buf)
+    print(f"   after CPU first-touch: ok={result.ok}")
+    print("\nConclusion: first-touch and the IOMMU cannot coexist — the "
+          "evaluation disables\nthe passthrough driver whenever first-touch "
+          "is active (sections 4.4.1, 5.3.1).")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+"""Reproduction of "An interface to implement NUMA policies in the Xen hypervisor".
+
+Voron, Thomas, Quema, Sens -- EuroSys 2017.
+
+The package is organised as a stack:
+
+* :mod:`repro.hardware` -- a simulated NUMA machine (nodes, memory controllers,
+  interconnect, caches, performance counters, IOMMU), with an ``amd48``
+  preset matching the paper's evaluation machine.
+* :mod:`repro.hypervisor` -- a Xen-like hypervisor: domains, vCPUs, the
+  hypervisor page table (p2m), the Xen heap allocator, hypercalls, a
+  scheduler and the virtualised-IPI cost model.
+* :mod:`repro.guest` -- a Linux-like guest OS: processes, virtual memory with
+  lazy allocation, a physical page allocator, native NUMA policies and the
+  paper's paravirtual alloc/release patch.
+* :mod:`repro.vio` -- virtualised I/O: disk, DMA through the IOMMU,
+  para-virtualised and PCI-passthrough drivers.
+* :mod:`repro.core` -- the paper's contribution: the external/internal NUMA
+  policy interface and the four policies (round-1G, round-4K, first-touch,
+  Carrefour).
+* :mod:`repro.carrefour` -- the Carrefour engine ported to the hypervisor.
+* :mod:`repro.workloads` -- models of the paper's 29 applications.
+* :mod:`repro.sim` -- the epoch-based simulation engine and environments.
+* :mod:`repro.experiments` -- one module per paper table/figure.
+"""
+
+from repro.hardware.machine import Machine
+from repro.hardware.presets import amd48
+from repro.sim.environment import LinuxEnvironment, XenEnvironment
+from repro.sim.engine import run_app
+from repro.workloads.suite import APPLICATIONS, get_app
+from repro.core.policies import PolicyName
+
+__all__ = [
+    "Machine",
+    "amd48",
+    "LinuxEnvironment",
+    "XenEnvironment",
+    "run_app",
+    "APPLICATIONS",
+    "get_app",
+    "PolicyName",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,17 @@
+"""Metric definitions and report formatting."""
+
+from repro.analysis.metrics import (
+    classify_imbalance,
+    imbalance_percent,
+    interconnect_percent,
+)
+from repro.analysis.tables import format_table, format_percent, format_factor
+
+__all__ = [
+    "classify_imbalance",
+    "imbalance_percent",
+    "interconnect_percent",
+    "format_table",
+    "format_percent",
+    "format_factor",
+]

@@ -1,0 +1,41 @@
+"""Plain-text table rendering for the experiment reports."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_percent(value: float, signed: bool = False) -> str:
+    """Render a fraction as a percentage string."""
+    pct = value * 100.0
+    if signed:
+        return f"{pct:+.0f}%"
+    return f"{pct:.0f}%"
+
+
+def format_factor(value: float) -> str:
+    """Render a completion-time ratio ("x2.3")."""
+    return f"x{value:.2f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned plain-text table."""
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""Carrefour's three per-page heuristics (paper section 3.4).
+
+* **interleave**: when memory controllers are overloaded, randomly migrate
+  hot pages from overloaded nodes to underloaded nodes;
+* **migration**: when the interconnect saturates, migrate hot pages that
+  are remotely accessed by a *single* node to that node;
+* **replication**: replicate hot read-only pages accessed by several
+  nodes. The paper implements but *discards* this heuristic in the Xen
+  port (marginal gains, deep memory-manager changes), so our engine ships
+  it disabled by default.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.hardware.counters import HotPageSample
+
+
+class Action(enum.Enum):
+    """What to do with one hot page."""
+
+    MIGRATE = "migrate"
+    INTERLEAVE = "interleave"
+    REPLICATE = "replicate"
+
+
+@dataclass(frozen=True)
+class PageDecision:
+    """One decision of the user component.
+
+    Attributes:
+        page: the page (gpfn in hypervisor mode, vpfn in Linux mode).
+        domain_id: owning domain.
+        action: which heuristic fired.
+        dst_node: target node (meaningless for REPLICATE).
+    """
+
+    page: int
+    domain_id: int
+    action: Action
+    dst_node: int
+
+
+#: Returns the node currently backing a page (None if unmapped).
+PlacementFn = Callable[[int], Optional[int]]
+
+
+def migration_decisions(
+    hot_pages: Sequence[HotPageSample],
+    placement: PlacementFn,
+    budget: int,
+    single_node_share: float = 0.9,
+) -> List[PageDecision]:
+    """Migrate pages remotely accessed by (essentially) a single node.
+
+    A page qualifies when one node performs at least ``single_node_share``
+    of its accesses and the page does not already live there.
+    """
+    decisions: List[PageDecision] = []
+    for sample in hot_pages:
+        if len(decisions) >= budget:
+            break
+        total = sample.total
+        if total == 0:
+            continue
+        dominant = sample.dominant_node
+        if sample.node_accesses[dominant] < single_node_share * total:
+            continue
+        current = placement(sample.page)
+        if current is None or current == dominant:
+            continue
+        decisions.append(
+            PageDecision(sample.page, sample.domain_id, Action.MIGRATE, dominant)
+        )
+    return decisions
+
+
+def interleave_decisions(
+    hot_pages: Sequence[HotPageSample],
+    placement: PlacementFn,
+    overloaded: Sequence[int],
+    underloaded: Sequence[int],
+    budget: int,
+    rng: np.random.Generator,
+) -> List[PageDecision]:
+    """Randomly spread hot pages from overloaded to underloaded nodes."""
+    if not overloaded or not underloaded:
+        return []
+    overloaded_set = set(overloaded)
+    targets = list(underloaded)
+    decisions: List[PageDecision] = []
+    for sample in hot_pages:
+        if len(decisions) >= budget:
+            break
+        current = placement(sample.page)
+        if current is None or current not in overloaded_set:
+            continue
+        dst = int(targets[rng.integers(len(targets))])
+        decisions.append(
+            PageDecision(sample.page, sample.domain_id, Action.INTERLEAVE, dst)
+        )
+    return decisions
+
+
+def replication_decisions(
+    hot_pages: Sequence[HotPageSample],
+    placement: PlacementFn,
+    budget: int,
+    max_write_fraction: float = 0.05,
+    min_sharer_nodes: int = 2,
+) -> List[PageDecision]:
+    """Replicate hot, (almost) read-only pages shared by several nodes.
+
+    Kept for completeness and for the ablation benchmark; the engine
+    disables it by default, like the paper's Xen port.
+    """
+    decisions: List[PageDecision] = []
+    for sample in hot_pages:
+        if len(decisions) >= budget:
+            break
+        if sample.write_fraction > max_write_fraction:
+            continue
+        sharer_nodes = sum(1 for c in sample.node_accesses if c > 0)
+        if sharer_nodes < min_sharer_nodes:
+            continue
+        current = placement(sample.page)
+        if current is None:
+            continue
+        decisions.append(
+            PageDecision(sample.page, sample.domain_id, Action.REPLICATE, current)
+        )
+    return decisions

@@ -1,0 +1,46 @@
+"""The paper's contribution: the NUMA policy interface and the policies.
+
+Two interfaces (paper Figure 3):
+
+* the **internal interface** (:class:`repro.core.interface.InternalInterface`)
+  lets a NUMA policy map a guest-physical page to a NUMA node and migrate a
+  page to a new node, through the hypervisor page table;
+* the **external interface** (:class:`repro.core.interface.ExternalInterface`)
+  lets the guest select a policy and report batched page alloc/release
+  events — the two new hypercalls.
+"""
+
+from repro.core.interface import InternalInterface, ExternalInterface
+from repro.core.page_queue import (
+    PageOp,
+    PageEvent,
+    PartitionedPageQueue,
+    replay_page_events,
+)
+from repro.core.policies import (
+    PolicyName,
+    NumaPolicy,
+    Round1GPolicy,
+    Round4KPolicy,
+    FirstTouchPolicy,
+    CarrefourPolicy,
+    make_policy,
+)
+from repro.core.policy_manager import PolicyManager
+
+__all__ = [
+    "InternalInterface",
+    "ExternalInterface",
+    "PageOp",
+    "PageEvent",
+    "PartitionedPageQueue",
+    "replay_page_events",
+    "PolicyName",
+    "NumaPolicy",
+    "Round1GPolicy",
+    "Round4KPolicy",
+    "FirstTouchPolicy",
+    "CarrefourPolicy",
+    "make_policy",
+    "PolicyManager",
+]

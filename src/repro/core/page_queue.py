@@ -1,0 +1,225 @@
+"""Batched page alloc/release event queues (paper sections 4.2.3-4.2.4).
+
+First-touch needs to know when the guest releases a physical page so the
+hypervisor can invalidate its p2m entry. Calling the hypervisor on *every*
+release is ruinous (an empty hypercall per release divides wrmem's
+performance by 3), so the guest batches events:
+
+* each entry is a pair ``(op, page)`` — allocation or release of a
+  physical page;
+* entries accumulate in a queue protected by a lock; when the queue fills,
+  the guest flushes it with one hypercall **while still holding the lock**,
+  so no other core can reallocate a queued free page mid-flush;
+* a single global queue bottlenecks on many cores, so the final design
+  partitions it into independent queues selected by the two least
+  significant bits of the page frame number;
+* on receipt, the hypervisor replays the queue from the newest entry and
+  only honours the *most recent* operation per page: a newest-release means
+  the page is truly free (invalidate it); a newest-allocation means the
+  page may already be reused (leave it where it is — copying would cost
+  more than it saves).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import HypercallError
+
+
+class PageOp(enum.Enum):
+    """Operation recorded in a queue entry."""
+
+    ALLOC = "alloc"
+    RELEASE = "release"
+
+
+@dataclass(frozen=True)
+class PageEvent:
+    """One (op, page) pair, oldest-first in a flushed queue."""
+
+    op: PageOp
+    gpfn: int
+
+
+#: Flush callback: receives the (oldest-first) events, returns nothing.
+FlushFn = Callable[[Sequence[PageEvent]], None]
+#: Cost callback: seconds one flush of n events takes (lock-hold time).
+FlushCostFn = Callable[[int], float]
+
+
+@dataclass
+class QueueStats:
+    """Accounting for one queue family (used by the batching experiments)."""
+
+    events: int = 0
+    flushes: int = 0
+    flushed_events: int = 0
+    lock_acquisitions: int = 0
+    #: Seconds of lock hold time spent inside flush hypercalls.
+    flush_hold_seconds: float = 0.0
+    #: Seconds spent appending entries (lock held, no hypercall).
+    append_hold_seconds: float = 0.0
+
+    @property
+    def events_per_flush(self) -> float:
+        return self.flushed_events / self.flushes if self.flushes else 0.0
+
+
+class PartitionedPageQueue:
+    """The guest-side event queue, partitioned by the 2 low PFN bits.
+
+    Args:
+        flush_fn: delivers a full queue to the hypervisor (the hypercall).
+        flush_cost_fn: duration of a flush of n events (lock-hold time).
+        batch_size: entries per partition before a flush triggers.
+        num_partitions: independent queues; the paper uses 4 (two LSBs of
+            the page frame number). ``num_partitions=1`` is the single
+            global queue of the intermediate design, kept for the ablation.
+        append_cost_seconds: lock-held time for one enqueue.
+    """
+
+    def __init__(
+        self,
+        flush_fn: FlushFn,
+        flush_cost_fn: Optional[FlushCostFn] = None,
+        batch_size: int = 64,
+        num_partitions: int = 4,
+        append_cost_seconds: float = 20e-9,
+    ):
+        if batch_size < 1:
+            raise HypercallError("batch_size must be at least 1")
+        if num_partitions < 1:
+            raise HypercallError("need at least one partition")
+        self.flush_fn = flush_fn
+        self.flush_cost_fn = flush_cost_fn or (lambda n: 0.0)
+        self.batch_size = batch_size
+        self.num_partitions = num_partitions
+        self.append_cost_seconds = append_cost_seconds
+        self._queues: List[List[PageEvent]] = [[] for _ in range(num_partitions)]
+        self.stats = QueueStats()
+
+    def partition_of(self, gpfn: int) -> int:
+        """Queue index for a page: the two least significant PFN bits."""
+        return gpfn % self.num_partitions
+
+    def record(self, op: PageOp, gpfn: int) -> None:
+        """Append one event, flushing the partition if it fills.
+
+        The flush happens while the partition lock is held (so a queued
+        free page cannot be reallocated concurrently); the lock-hold time
+        is accounted in :attr:`stats`.
+        """
+        idx = self.partition_of(gpfn)
+        queue = self._queues[idx]
+        queue.append(PageEvent(op, gpfn))
+        self.stats.events += 1
+        self.stats.lock_acquisitions += 1
+        self.stats.append_hold_seconds += self.append_cost_seconds
+        if len(queue) >= self.batch_size:
+            self._flush(idx)
+
+    def record_alloc(self, gpfn: int) -> None:
+        """Shorthand for an allocation event."""
+        self.record(PageOp.ALLOC, gpfn)
+
+    def record_release(self, gpfn: int) -> None:
+        """Shorthand for a release event."""
+        self.record(PageOp.RELEASE, gpfn)
+
+    def flush_all(self) -> None:
+        """Force-flush every partition (e.g. before a policy switch)."""
+        for idx in range(self.num_partitions):
+            if self._queues[idx]:
+                self._flush(idx)
+
+    def pending(self) -> int:
+        """Events recorded but not yet flushed."""
+        return sum(len(q) for q in self._queues)
+
+    def _flush(self, idx: int) -> None:
+        queue = self._queues[idx]
+        events, self._queues[idx] = queue, []
+        self.stats.flushes += 1
+        self.stats.flushed_events += len(events)
+        self.stats.flush_hold_seconds += self.flush_cost_fn(len(events))
+        self.flush_fn(events)
+
+
+def replay_page_events(
+    events: Sequence[PageEvent],
+    invalidate: Callable[[int], bool],
+) -> Tuple[int, int]:
+    """Hypervisor-side replay of one flushed queue (paper section 4.2.4).
+
+    Walk from the newest entry backwards, remembering visited pages; only
+    the most recent operation per page counts:
+
+    * newest op RELEASE -> the page is free: ``invalidate(gpfn)``;
+    * newest op ALLOC -> the page may already be reused by a process:
+      leave it on its current node (copying the old content would be too
+      costly in the common case).
+
+    Args:
+        events: oldest-first event list, as flushed by the guest.
+        invalidate: callback invalidating one gpfn (returns False if the
+            entry was already invalid).
+
+    Returns:
+        (invalidated, skipped_reallocated): pages invalidated, and pages
+        whose newest event was an allocation.
+    """
+    seen: set = set()
+    invalidated = 0
+    skipped = 0
+    for event in reversed(events):
+        if event.gpfn in seen:
+            continue
+        seen.add(event.gpfn)
+        if event.op is PageOp.RELEASE:
+            if invalidate(event.gpfn):
+                invalidated += 1
+        else:
+            skipped += 1
+    return invalidated, skipped
+
+
+def lock_service_slowdown(
+    per_thread_rate_per_s: float,
+    num_threads: int,
+    service_seconds: float,
+    num_partitions: int = 1,
+    rho_cap: float = 0.95,
+) -> float:
+    """Completion-time slowdown imposed by a lock-protected service point.
+
+    Models the guest-wide effect of the queue lock — or of issuing one
+    hypercall per release through a single serialisation point, the
+    paper's strawman (section 4.2.3): with every thread producing events
+    at ``per_thread_rate_per_s`` and each event holding a lock for
+    ``service_seconds``, the offered load per partition is
+    ``rho = rate * threads * service / partitions``.
+
+    * At/beyond saturation (``rho >= 1``) the serialisation point caps the
+      whole application's throughput: the slowdown is ``rho``. This is
+      how an "empty hypercall per release" divides wrmem by ~3 (one
+      release per 15 us per thread, 48 threads, ~1 us per hypercall).
+    * Below saturation each event stalls its thread for the M/M/1
+      effective service time ``service / (1 - rho)``.
+
+    Returns:
+        A multiplicative completion-time factor (>= 1).
+    """
+    if per_thread_rate_per_s <= 0 or service_seconds <= 0 or num_threads < 1:
+        return 1.0
+    rho = per_thread_rate_per_s * num_threads * service_seconds / num_partitions
+    if rho >= 1.0:
+        # Saturated: the app can only run as fast as events drain.
+        return rho
+    effective = service_seconds / (1.0 - min(rho, rho_cap))
+    busy_fraction = per_thread_rate_per_s * effective
+    if busy_fraction >= 1.0:
+        return 1.0 / (1.0 - rho_cap)
+    return 1.0 / (1.0 - busy_fraction)

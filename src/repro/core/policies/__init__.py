@@ -1,0 +1,35 @@
+"""The four NUMA policies of the paper, implemented on the interface.
+
+* :class:`Round1GPolicy` — Xen's default: eager allocation in 1 GiB regions
+  round-robin over the home nodes (section 3.3).
+* :class:`Round4KPolicy` — static 4 KiB round-robin (section 3.2); the boot
+  default of our modified Xen (section 4.2.1).
+* :class:`FirstTouchPolicy` — allocate on the first toucher's node, driven
+  by the page-event hypercall (sections 3.1, 4.2.3).
+* :class:`CarrefourPolicy` — dynamic migration/interleave on top of a
+  static base policy, ported into the hypervisor (sections 3.4, 4.3).
+"""
+
+from repro.core.policies.base import (
+    EpochObservation,
+    NumaPolicy,
+    PolicyName,
+    PolicySpec,
+)
+from repro.core.policies.round1g import Round1GPolicy
+from repro.core.policies.round4k import Round4KPolicy
+from repro.core.policies.first_touch import FirstTouchPolicy
+from repro.core.policies.carrefour import CarrefourPolicy
+from repro.core.policies.factory import make_policy
+
+__all__ = [
+    "EpochObservation",
+    "NumaPolicy",
+    "PolicyName",
+    "PolicySpec",
+    "Round1GPolicy",
+    "Round4KPolicy",
+    "FirstTouchPolicy",
+    "CarrefourPolicy",
+    "make_policy",
+]

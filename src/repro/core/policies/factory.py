@@ -1,0 +1,55 @@
+"""Construct policy objects from a :class:`PolicySpec`."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.carrefour.engine import CarrefourConfig
+from repro.core.interface import InternalInterface
+from repro.core.policies.base import NumaPolicy, PolicyName, PolicySpec
+from repro.core.policies.carrefour import CarrefourPolicy
+from repro.core.policies.first_touch import FirstTouchPolicy
+from repro.core.policies.round1g import Round1GPolicy
+from repro.core.policies.round4k import Round4KPolicy
+from repro.errors import PolicyError
+
+
+def make_policy(
+    spec: PolicySpec,
+    internal: InternalInterface,
+    first_touch_lazy: bool = True,
+    carrefour_config: Optional[CarrefourConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+    command_channel=None,
+) -> NumaPolicy:
+    """Build the policy object for ``spec``.
+
+    Args:
+        spec: base policy + Carrefour flag.
+        internal: the hypervisor-side interface.
+        first_touch_lazy: whether a first-touch domain starts unmapped
+            (boot-time first-touch) or keeps its current mapping (runtime
+            switch).
+        carrefour_config: thresholds for the Carrefour engine.
+        rng: randomness for the interleave heuristic.
+        command_channel: decision transport (the CARREFOUR_CONTROL path).
+    """
+    if spec.base is PolicyName.ROUND_1G:
+        base: NumaPolicy = Round1GPolicy(internal.allocator)
+    elif spec.base is PolicyName.ROUND_4K:
+        base = Round4KPolicy(internal.allocator)
+    elif spec.base is PolicyName.FIRST_TOUCH:
+        base = FirstTouchPolicy(internal, populate_lazily=first_touch_lazy)
+    else:  # pragma: no cover - exhaustive over the enum
+        raise PolicyError(f"unknown base policy {spec.base!r}")
+    if not spec.carrefour:
+        return base
+    return CarrefourPolicy(
+        base=base,
+        internal=internal,
+        config=carrefour_config or CarrefourConfig(),
+        rng=rng,
+        command_channel=command_channel,
+    )

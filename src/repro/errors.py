@@ -1,0 +1,50 @@
+"""Exception hierarchy shared by all subsystems."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class TopologyError(ReproError):
+    """The NUMA topology is malformed (disconnected, bad ids, ...)."""
+
+
+class OutOfMemoryError(ReproError):
+    """A machine node or guest allocator ran out of frames."""
+
+
+class P2MError(ReproError):
+    """Invalid operation on the hypervisor page table."""
+
+
+class HypercallError(ReproError):
+    """A hypercall was malformed or rejected by the hypervisor."""
+
+
+class GuestFaultError(ReproError):
+    """A guest access could not be resolved (bad virtual address, ...)."""
+
+
+class IommuFault(ReproError):
+    """A DMA translation hit an invalid hypervisor page table entry.
+
+    The hardware reports this *asynchronously* (paper section 4.4.1), which
+    is why first-touch cannot be combined with the IOMMU: by the time the
+    hypervisor learns about the fault, the guest has already failed the I/O.
+    """
+
+    def __init__(self, gpfn: int, message: str = ""):
+        self.gpfn = gpfn
+        super().__init__(message or f"IOMMU translation fault on guest pfn {gpfn:#x}")
+
+
+class PolicyError(ReproError):
+    """Invalid NUMA policy selection or configuration."""
+
+
+class SchedulerError(ReproError):
+    """Invalid vCPU placement or pinning request."""
+
+
+class WorkloadError(ReproError):
+    """Unknown application or invalid workload parameters."""

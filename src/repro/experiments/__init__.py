@@ -1,0 +1,12 @@
+"""One module per paper table and figure.
+
+Every module exposes ``run(apps=None, verbose=True)`` returning a
+structured result and printing the same rows/series the paper reports.
+Use ``python -m repro.experiments <name>`` from the command line; names:
+fig1, fig2, table1, table2, table3, table4, fig5, io, fig6, fig7, fig8,
+fig9, fig10, batching.
+"""
+
+from repro.experiments import common
+
+__all__ = ["common"]

@@ -1,0 +1,65 @@
+"""Command-line entry point: ``python -m repro.experiments <name> [apps...]``."""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict
+
+from repro.experiments import (
+    batching,
+    fig1,
+    fig2,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    io_micro,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig1": fig1.run,
+    "fig2": fig2.run,
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "fig5": fig5.run,
+    "io": io_micro.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "batching": batching.run,
+}
+
+
+def main(argv=None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    if not argv or argv[0] in ("-h", "--help"):
+        names = ", ".join(EXPERIMENTS)
+        print(f"usage: python -m repro.experiments <{names}|all> [app ...]")
+        return 0
+    name = argv[0]
+    apps = argv[1:] or None
+    if name == "all":
+        for key, runner in EXPERIMENTS.items():
+            print(f"\n######## {key} ########\n")
+            runner(apps=apps)
+        return 0
+    runner = EXPERIMENTS.get(name)
+    if runner is None:
+        print(f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}")
+        return 1
+    runner(apps=apps)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,170 @@
+"""Shared runners (memoised) and the paper's standard configurations.
+
+The evaluation compares a fixed set of configurations:
+
+* **Linux** — native, first-touch (the Linux default), blocking locks;
+* **LinuxNUMA** — native, best policy per application, MCS locks for
+  facesim/streamcluster (section 5.3.3);
+* **Xen** — stock: round-1G placement, para-virtualised I/O, blocking
+  locks over virtualised IPIs;
+* **Xen+** — round-1G plus PCI passthrough and MCS locks (section 5.3);
+* **Xen+NUMA** — Xen+ with the best NUMA policy per application
+  (first-touch implies the passthrough driver turns off).
+
+Runs are memoised per process: Figure 6 reuses Figure 2's LinuxNUMA
+sweep, Figure 10 reuses Figure 7's policy sweep, and so on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.config import SimConfig
+from repro.core.policies.base import PolicyName, PolicySpec
+from repro.hypervisor.xen import XEN, XEN_PLUS, XenFeatures
+from repro.sim.engine import run_app, run_apps
+from repro.sim.environment import (
+    LinuxEnvironment,
+    VmSpec,
+    XenEnvironment,
+    MCS_APPS,
+)
+from repro.sim.results import RunResult
+from repro.workloads.app import AppSpec
+from repro.workloads.suite import APPLICATIONS, get_app
+
+#: The Linux policy combinations evaluated exhaustively in Figure 2.
+LINUX_COMBOS: List[Tuple[str, bool]] = [
+    ("first-touch", False),
+    ("first-touch", True),
+    ("round-4k", False),
+    ("round-4k", True),
+]
+
+#: The Xen policies of Figure 7 (round-1G is the Xen+ baseline itself).
+XEN_POLICIES: List[PolicySpec] = [
+    PolicySpec(PolicyName.FIRST_TOUCH),
+    PolicySpec(PolicyName.FIRST_TOUCH, carrefour=True),
+    PolicySpec(PolicyName.ROUND_4K),
+    PolicySpec(PolicyName.ROUND_4K, carrefour=True),
+]
+
+#: All Xen policies including the boot-only default.
+XEN_POLICIES_ALL: List[PolicySpec] = [PolicySpec(PolicyName.ROUND_1G)] + XEN_POLICIES
+
+_CACHE: Dict[tuple, RunResult] = {}
+
+
+def clear_cache() -> None:
+    """Drop all memoised runs (tests use this for isolation)."""
+    _CACHE.clear()
+
+
+def default_config() -> SimConfig:
+    """The configuration every experiment runs with."""
+    return SimConfig()
+
+
+def select_apps(apps: Optional[Sequence[str]] = None) -> List[AppSpec]:
+    """Resolve an app-name list (None = all 29)."""
+    if apps is None:
+        return list(APPLICATIONS)
+    return [get_app(name) for name in apps]
+
+
+# ----------------------------------------------------------------------
+# Native Linux runs
+
+
+def linux_run(
+    app: AppSpec,
+    policy: str = "first-touch",
+    carrefour: bool = False,
+    mcs_locks: bool = False,
+    config: Optional[SimConfig] = None,
+) -> RunResult:
+    """One memoised native-Linux run."""
+    config = config or default_config()
+    key = ("linux", app.name, policy, carrefour, mcs_locks, config)
+    if key not in _CACHE:
+        env = LinuxEnvironment(
+            policy=policy, carrefour=carrefour, mcs_locks=mcs_locks, config=config
+        )
+        _CACHE[key] = run_app(env, app)
+    return _CACHE[key]
+
+
+def linux_numa_run(app: AppSpec, config: Optional[SimConfig] = None) -> Tuple[RunResult, str]:
+    """LinuxNUMA: the best Linux policy for ``app`` (+ MCS where used)."""
+    mcs = app.name in MCS_APPS
+    best: Optional[RunResult] = None
+    best_label = ""
+    for policy, carrefour in LINUX_COMBOS:
+        result = linux_run(app, policy, carrefour, mcs_locks=mcs, config=config)
+        if best is None or result.completion_seconds < best.completion_seconds:
+            best = result
+            best_label = _linux_label(policy, carrefour)
+    assert best is not None
+    return best, best_label
+
+
+def _linux_label(policy: str, carrefour: bool) -> str:
+    label = {"first-touch": "First-Touch", "round-4k": "Round-4K"}[policy]
+    if carrefour:
+        label += " / Carrefour"
+    return label
+
+
+# ----------------------------------------------------------------------
+# Xen runs
+
+
+def xen_run(
+    app: AppSpec,
+    policy: PolicySpec,
+    features: XenFeatures = XEN_PLUS,
+    config: Optional[SimConfig] = None,
+) -> RunResult:
+    """One memoised single-VM Xen run (48 vCPUs, all threads pinned)."""
+    config = config or default_config()
+    key = ("xen", app.name, policy, features, config)
+    if key not in _CACHE:
+        env = XenEnvironment(features=features, config=config)
+        _CACHE[key] = run_app(env, VmSpec(app=app, policy=policy))
+    return _CACHE[key]
+
+
+def xen_stock_run(app: AppSpec, config: Optional[SimConfig] = None) -> RunResult:
+    """Stock Xen (Figure 1): round-1G, PV I/O, blocking locks."""
+    return xen_run(app, PolicySpec(PolicyName.ROUND_1G), features=XEN, config=config)
+
+
+def xen_plus_run(app: AppSpec, config: Optional[SimConfig] = None) -> RunResult:
+    """Xen+ baseline (sections 5.3-5.4): round-1G with the mitigations."""
+    return xen_run(
+        app, PolicySpec(PolicyName.ROUND_1G), features=XEN_PLUS, config=config
+    )
+
+
+def xen_numa_run(app: AppSpec, config: Optional[SimConfig] = None) -> Tuple[RunResult, str]:
+    """Xen+NUMA: the best Xen+ policy for ``app`` (round-1G included)."""
+    best: Optional[RunResult] = None
+    best_label = ""
+    for spec in XEN_POLICIES_ALL:
+        result = xen_run(app, spec, features=XEN_PLUS, config=config)
+        if best is None or result.completion_seconds < best.completion_seconds:
+            best = result
+            best_label = spec.label
+    assert best is not None
+    return best, best_label
+
+
+def xen_pair_run(
+    specs: Sequence[VmSpec],
+    features: XenFeatures = XEN_PLUS,
+    config: Optional[SimConfig] = None,
+) -> List[RunResult]:
+    """A multi-VM consolidated run (Figures 8 and 9). Not memoised."""
+    config = config or default_config()
+    env = XenEnvironment(features=features, config=config)
+    return run_apps(env, list(specs))

@@ -1,0 +1,72 @@
+"""Figure 1: relative overhead of Xen compared to Linux (lower is better).
+
+Stock Xen (round-1G placement, para-virtualised I/O, virtualised IPIs)
+against native Linux with its default first-touch policy, for all 29
+applications. The paper's headline numbers: overhead up to 700%, above
+50% for 15 applications, above 100% for 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.tables import format_percent, format_table
+from repro.experiments import common
+from repro.sim.results import relative_overhead
+
+
+@dataclass
+class Fig1Result:
+    """Per-application overhead of Xen vs Linux."""
+
+    overheads: Dict[str, float]
+
+    def count_above(self, threshold: float) -> int:
+        return sum(1 for v in self.overheads.values() if v > threshold)
+
+    @property
+    def max_overhead(self) -> float:
+        return max(self.overheads.values())
+
+
+def run(apps: Optional[Sequence[str]] = None, verbose: bool = True) -> Fig1Result:
+    """Regenerate Figure 1."""
+    overheads: Dict[str, float] = {}
+    rows: List[List[str]] = []
+    for app in common.select_apps(apps):
+        linux = common.linux_run(app, "first-touch")
+        xen = common.xen_stock_run(app)
+        overhead = relative_overhead(xen, linux)
+        overheads[app.name] = overhead
+        rows.append(
+            [
+                app.name,
+                f"{linux.completion_seconds:.1f}s",
+                f"{xen.completion_seconds:.1f}s",
+                format_percent(overhead, signed=True),
+            ]
+        )
+    result = Fig1Result(overheads)
+    if verbose:
+        print(
+            format_table(
+                ["app", "Linux", "Xen", "overhead"],
+                rows,
+                title="Figure 1 - relative overhead of Xen vs Linux",
+            )
+        )
+        from repro.analysis.figures import render_bars
+
+        print()
+        print(render_bars(overheads, title="Figure 1 (bars)"))
+        print(
+            f"\n> {result.count_above(0.5)} apps above 50% overhead, "
+            f"{result.count_above(1.0)} above 100%, "
+            f"max {format_percent(result.max_overhead)}"
+        )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run()

@@ -1,0 +1,72 @@
+"""Figure 10: Xen+ and Xen+NUMA relative to LinuxNUMA.
+
+Both sides get their best NUMA policy; the question is how much of the
+virtualisation overhead was really NUMA placement. The paper's headline:
+with efficient NUMA policies only 4 applications stay degraded above 50%
+(vs 14 for Xen+), and the stragglers are the IPI-bound ones (memcached,
+cassandra, ua.C) plus psearchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.tables import format_percent, format_table
+from repro.experiments import common
+from repro.sim.results import relative_overhead
+
+
+@dataclass
+class Fig10Result:
+    """overheads[app][config] for config in xen+ / xen+numa."""
+
+    overheads: Dict[str, Dict[str, float]]
+    xen_policy: Dict[str, str]
+
+    def count_above(self, config: str, threshold: float) -> int:
+        return sum(1 for v in self.overheads.values() if v[config] > threshold)
+
+
+def run(apps: Optional[Sequence[str]] = None, verbose: bool = True) -> Fig10Result:
+    """Regenerate Figure 10."""
+    overheads: Dict[str, Dict[str, float]] = {}
+    xen_policy: Dict[str, str] = {}
+    rows: List[List[str]] = []
+    for app in common.select_apps(apps):
+        base, base_label = common.linux_numa_run(app)
+        xen_plus = common.xen_plus_run(app)
+        xen_numa, xen_label = common.xen_numa_run(app)
+        per_app = {
+            "xen+": relative_overhead(xen_plus, base),
+            "xen+numa": relative_overhead(xen_numa, base),
+        }
+        overheads[app.name] = per_app
+        xen_policy[app.name] = xen_label
+        rows.append(
+            [
+                app.name,
+                format_percent(per_app["xen+"], signed=True),
+                format_percent(per_app["xen+numa"], signed=True),
+                xen_label,
+                base_label,
+            ]
+        )
+    result = Fig10Result(overheads, xen_policy)
+    if verbose:
+        print(
+            format_table(
+                ["app", "Xen+", "Xen+NUMA", "Xen policy", "Linux policy"],
+                rows,
+                title="Figure 10 - overhead vs LinuxNUMA (lower is better)",
+            )
+        )
+        print(
+            f"\n> degraded above 50%: Xen+ {result.count_above('xen+', 0.5)} apps, "
+            f"Xen+NUMA {result.count_above('xen+numa', 0.5)} apps"
+        )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run()

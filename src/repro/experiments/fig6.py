@@ -1,0 +1,73 @@
+"""Figure 6: overhead of Linux, Xen and Xen+ relative to LinuxNUMA.
+
+LinuxNUMA = native Linux with the best policy per application and MCS
+locks for facesim/streamcluster. The paper's reading: even after removing
+the I/O and IPI overheads (Xen+), 20 applications stay above 25% overhead,
+14 above 50% and 11 above 100% — the remaining gap is NUMA placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.tables import format_percent, format_table
+from repro.experiments import common
+from repro.sim.results import relative_overhead
+
+
+@dataclass
+class Fig6Result:
+    """overheads[app][config] for config in linux / xen / xen+."""
+
+    overheads: Dict[str, Dict[str, float]]
+
+    def count_above(self, config: str, threshold: float) -> int:
+        return sum(
+            1 for per_app in self.overheads.values() if per_app[config] > threshold
+        )
+
+
+def run(apps: Optional[Sequence[str]] = None, verbose: bool = True) -> Fig6Result:
+    """Regenerate Figure 6."""
+    overheads: Dict[str, Dict[str, float]] = {}
+    rows: List[List[str]] = []
+    for app in common.select_apps(apps):
+        base, base_label = common.linux_numa_run(app)
+        linux = common.linux_run(app, "first-touch")
+        xen = common.xen_stock_run(app)
+        xen_plus = common.xen_plus_run(app)
+        per_app = {
+            "linux": relative_overhead(linux, base),
+            "xen": relative_overhead(xen, base),
+            "xen+": relative_overhead(xen_plus, base),
+        }
+        overheads[app.name] = per_app
+        rows.append(
+            [
+                app.name,
+                format_percent(per_app["linux"], signed=True),
+                format_percent(per_app["xen"], signed=True),
+                format_percent(per_app["xen+"], signed=True),
+                base_label,
+            ]
+        )
+    result = Fig6Result(overheads)
+    if verbose:
+        print(
+            format_table(
+                ["app", "Linux", "Xen", "Xen+", "LinuxNUMA policy"],
+                rows,
+                title="Figure 6 - overhead vs LinuxNUMA (lower is better)",
+            )
+        )
+        print(
+            f"\n> Xen+ overhead above 25%: {result.count_above('xen+', 0.25)} apps, "
+            f"above 50%: {result.count_above('xen+', 0.5)}, "
+            f"above 100%: {result.count_above('xen+', 1.0)}"
+        )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run()

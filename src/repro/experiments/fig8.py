@@ -1,0 +1,147 @@
+"""Figure 8: two colocated VMs, 24 vCPUs each, on disjoint node halves.
+
+Each virtual machine runs one application with as many threads as vCPUs;
+the first VM is pinned on one half of the NUMA nodes, the second on the
+other half. Because placement matters, every configuration runs twice
+with the halves swapped and the completion times are averaged (exactly
+the paper's protocol). Reported: improvement of the best Xen NUMA policy
+per application over the Xen+ default (round-1G).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.tables import format_percent, format_table
+from repro.core.policies.base import PolicyName, PolicySpec
+from repro.experiments import common
+from repro.sim.environment import VmSpec
+from repro.workloads.suite import get_app
+
+#: The five colocated pairs (the paper's figure labels are not
+#: machine-readable; the text names cg.C + sp.C explicitly, the others
+#: are representative pairs across the imbalance classes).
+DEFAULT_PAIRS: List[Tuple[str, str]] = [
+    ("cg.C", "sp.C"),
+    ("facesim", "streamcluster"),
+    ("wc", "wr"),
+    ("kmeans", "pca"),
+    ("bt.C", "ft.C"),
+]
+
+_HALVES = ([0, 1, 2, 3], [4, 5, 6, 7])
+
+
+@dataclass
+class PairResult:
+    """Improvement of each VM of one pair (averaged over the swap)."""
+
+    apps: Tuple[str, str]
+    improvements: Tuple[float, float]
+    base_seconds: Tuple[float, float]
+    best_seconds: Tuple[float, float]
+    policies: Tuple[str, str]
+
+
+@dataclass
+class Fig8Result:
+    pairs: List[PairResult]
+
+    def count_vm_improved_above(self, threshold: float) -> int:
+        """Pairs where at least one VM improves beyond ``threshold``."""
+        return sum(1 for p in self.pairs if max(p.improvements) > threshold)
+
+    def max_improvement(self) -> float:
+        return max(max(p.improvements) for p in self.pairs)
+
+    def max_degradation(self) -> float:
+        return max(0.0, -min(min(p.improvements) for p in self.pairs))
+
+
+def best_policy_spec(app_name: str) -> PolicySpec:
+    """The measured best single-VM Xen policy for an application."""
+    app = get_app(app_name)
+    _, label = common.xen_numa_run(app)
+    return PolicySpec.parse(label)
+
+
+def _pair_completions(
+    names: Tuple[str, str],
+    policies: Tuple[PolicySpec, PolicySpec],
+    vcpus: int = 24,
+) -> Tuple[float, float]:
+    """Average completion of both runs (halves swapped)."""
+    totals = [0.0, 0.0]
+    for flip in (False, True):
+        halves = _HALVES if not flip else (_HALVES[1], _HALVES[0])
+        specs = []
+        for i, name in enumerate(names):
+            home = halves[i]
+            pin = [c for node in home for c in range(node * 6, node * 6 + 6)][:vcpus]
+            specs.append(
+                VmSpec(
+                    app=get_app(name),
+                    policy=policies[i],
+                    num_vcpus=vcpus,
+                    home_nodes=home,
+                    pin_pcpus=pin,
+                )
+            )
+        results = common.xen_pair_run(specs)
+        for i, result in enumerate(results):
+            totals[i] += result.completion_seconds / 2.0
+    return totals[0], totals[1]
+
+
+def run(
+    apps: Optional[Sequence[str]] = None,
+    verbose: bool = True,
+    pairs: Optional[List[Tuple[str, str]]] = None,
+) -> Fig8Result:
+    """Regenerate Figure 8 (``apps`` ignored; pass ``pairs`` to restrict)."""
+    pairs = pairs or DEFAULT_PAIRS
+    out: List[PairResult] = []
+    rows: List[List[str]] = []
+    round1g = PolicySpec(PolicyName.ROUND_1G)
+    for pair in pairs:
+        base = _pair_completions(pair, (round1g, round1g))
+        best_specs = (best_policy_spec(pair[0]), best_policy_spec(pair[1]))
+        best = _pair_completions(pair, best_specs)
+        improvements = (base[0] / best[0] - 1.0, base[1] / best[1] - 1.0)
+        out.append(
+            PairResult(
+                apps=pair,
+                improvements=improvements,
+                base_seconds=base,
+                best_seconds=best,
+                policies=(best_specs[0].label, best_specs[1].label),
+            )
+        )
+        for i in (0, 1):
+            rows.append(
+                [
+                    f"{pair[0]} + {pair[1]}",
+                    pair[i],
+                    out[-1].policies[i],
+                    format_percent(improvements[i], signed=True),
+                ]
+            )
+    result = Fig8Result(out)
+    if verbose:
+        print(
+            format_table(
+                ["pair", "vm", "policy", "improvement"],
+                rows,
+                title="Figure 8 - 2 colocated VMs (24 vCPUs each) vs Xen+",
+            )
+        )
+        print(
+            f"\n> max improvement {format_percent(result.max_improvement())}, "
+            f"max degradation {format_percent(result.max_degradation())}"
+        )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run()

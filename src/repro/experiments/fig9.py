@@ -1,0 +1,120 @@
+"""Figure 9: two consolidated VMs, 48 vCPUs each, sharing every pCPU.
+
+Both virtual machines span all 48 cores; every physical CPU runs exactly
+two vCPUs (one per VM) and Xen's credit scheduler shares it fairly. As in
+Figure 8, the improvement of the best per-application Xen NUMA policy
+over the round-1G default is reported per VM. MCS locks stay off: the
+paper's spin-loop trick only works for non-consolidated workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.tables import format_percent, format_table
+from repro.core.policies.base import PolicyName, PolicySpec
+from repro.experiments import common
+from repro.experiments.fig8 import best_policy_spec
+from repro.sim.environment import VmSpec
+from repro.workloads.suite import get_app
+
+#: Six consolidated pairs (labels in the paper's figure are garbled; the
+#: pairs cover all imbalance classes).
+DEFAULT_PAIRS: List[Tuple[str, str]] = [
+    ("cg.C", "sp.C"),
+    ("facesim", "streamcluster"),
+    ("kmeans", "pca"),
+    ("bt.C", "lu.C"),
+    ("ep.D", "ua.C"),
+    ("bodytrack", "swaptions"),
+]
+
+
+@dataclass
+class PairResult:
+    apps: Tuple[str, str]
+    improvements: Tuple[float, float]
+    policies: Tuple[str, str]
+
+
+@dataclass
+class Fig9Result:
+    pairs: List[PairResult]
+
+    def count_vm_improved_above(self, threshold: float) -> int:
+        return sum(1 for p in self.pairs if max(p.improvements) > threshold)
+
+    def max_degradation(self) -> float:
+        return max(0.0, -min(min(p.improvements) for p in self.pairs))
+
+
+def _consolidated_completions(
+    names: Tuple[str, str], policies: Tuple[PolicySpec, PolicySpec]
+) -> Tuple[float, float]:
+    all_nodes = list(range(8))
+    pin = list(range(48))
+    specs = [
+        VmSpec(
+            app=get_app(name),
+            policy=policies[i],
+            num_vcpus=48,
+            home_nodes=all_nodes,
+            pin_pcpus=pin,
+        )
+        for i, name in enumerate(names)
+    ]
+    results = common.xen_pair_run(specs)
+    return results[0].completion_seconds, results[1].completion_seconds
+
+
+def run(
+    apps: Optional[Sequence[str]] = None,
+    verbose: bool = True,
+    pairs: Optional[List[Tuple[str, str]]] = None,
+) -> Fig9Result:
+    """Regenerate Figure 9 (``apps`` ignored; pass ``pairs`` to restrict)."""
+    pairs = pairs or DEFAULT_PAIRS
+    out: List[PairResult] = []
+    rows: List[List[str]] = []
+    round1g = PolicySpec(PolicyName.ROUND_1G)
+    for pair in pairs:
+        base = _consolidated_completions(pair, (round1g, round1g))
+        best_specs = (best_policy_spec(pair[0]), best_policy_spec(pair[1]))
+        best = _consolidated_completions(pair, best_specs)
+        improvements = (base[0] / best[0] - 1.0, base[1] / best[1] - 1.0)
+        out.append(
+            PairResult(
+                apps=pair,
+                improvements=improvements,
+                policies=(best_specs[0].label, best_specs[1].label),
+            )
+        )
+        for i in (0, 1):
+            rows.append(
+                [
+                    f"{pair[0]} + {pair[1]}",
+                    pair[i],
+                    out[-1].policies[i],
+                    format_percent(improvements[i], signed=True),
+                ]
+            )
+    result = Fig9Result(out)
+    if verbose:
+        print(
+            format_table(
+                ["pair", "vm", "policy", "improvement"],
+                rows,
+                title="Figure 9 - 2 consolidated VMs (48 vCPUs each) vs Xen+",
+            )
+        )
+        print(
+            f"\n> pairs with a VM improved > 50%: "
+            f"{result.count_vm_improved_above(0.5)}/{len(result.pairs)}; "
+            f"max degradation {format_percent(result.max_degradation())}"
+        )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run()

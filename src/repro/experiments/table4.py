@@ -1,0 +1,91 @@
+"""Table 4: best NUMA policies, per application, in Linux and Xen+.
+
+Runs the exhaustive sweeps (Figure 2's Linux combinations, Figure 7's
+Xen+ policies plus round-1G) and reports the measured winner next to the
+paper's. Exact per-application agreement is not expected — near-ties flip
+easily — but the *family* of the winner (locality-preserving first-touch
+vs balancing round-4K) should usually match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.tables import format_table
+from repro.experiments import common
+
+
+def _family(label: str) -> str:
+    """Collapse a policy label to its static family."""
+    if "First-Touch" in label:
+        return "first-touch"
+    if "Round-1G" in label:
+        return "round-1g"
+    return "round-4k"
+
+
+@dataclass
+class Table4Row:
+    app: str
+    best_linux: str
+    paper_linux: str
+    best_xen: str
+    paper_xen: str
+
+
+@dataclass
+class Table4Result:
+    rows: List[Table4Row]
+
+    def linux_family_matches(self) -> int:
+        return sum(
+            1
+            for r in self.rows
+            if _family(r.best_linux) == _family(r.paper_linux)
+        )
+
+    def xen_family_matches(self) -> int:
+        return sum(
+            1 for r in self.rows if _family(r.best_xen) == _family(r.paper_xen)
+        )
+
+
+def run(apps: Optional[Sequence[str]] = None, verbose: bool = True) -> Table4Result:
+    """Regenerate Table 4."""
+    rows: List[Table4Row] = []
+    printable: List[List[str]] = []
+    for app in common.select_apps(apps):
+        _, linux_label = common.linux_numa_run(app)
+        _, xen_label = common.xen_numa_run(app)
+        rows.append(
+            Table4Row(
+                app=app.name,
+                best_linux=linux_label,
+                paper_linux=app.best_linux,
+                best_xen=xen_label,
+                paper_xen=app.best_xen,
+            )
+        )
+        printable.append(
+            [app.name, linux_label, app.best_linux, xen_label, app.best_xen]
+        )
+    result = Table4Result(rows)
+    if verbose:
+        print(
+            format_table(
+                ["app", "LinuxNUMA", "paper", "Xen+NUMA", "paper"],
+                printable,
+                title="Table 4 - best NUMA policies (measured vs paper)",
+            )
+        )
+        n = len(result.rows)
+        print(
+            f"\n> family agreement: Linux {result.linux_family_matches()}/{n}, "
+            f"Xen+ {result.xen_family_matches()}/{n}"
+        )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run()

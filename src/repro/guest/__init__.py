@@ -1,0 +1,20 @@
+"""Linux-like guest OS: processes, virtual memory, page allocator, NUMA."""
+
+from repro.guest.process import Process, Thread
+from repro.guest.page_alloc import GuestPageAllocator, NativePageAllocator
+from repro.guest.vmm import GuestAddressSpace, Vma
+from repro.guest.numa import LinuxNumaMode
+from repro.guest.pv_patch import PvNumaPatch
+from repro.guest.sync import SyncModel
+
+__all__ = [
+    "Process",
+    "Thread",
+    "GuestPageAllocator",
+    "NativePageAllocator",
+    "GuestAddressSpace",
+    "Vma",
+    "LinuxNumaMode",
+    "PvNumaPatch",
+    "SyncModel",
+]

@@ -1,0 +1,140 @@
+"""The :class:`Machine` facade bundling every hardware component.
+
+A ``Machine`` owns a topology, the machine memory with its per-node
+controllers, the interconnect, a cache hierarchy, the calibrated latency
+model, performance counters and the IOMMU. The simulation engine records
+all memory traffic through :meth:`record_node_traffic` so that controllers,
+links and counters stay consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.config import SimConfig, DEFAULT_CONFIG
+from repro.hardware.cache import CacheHierarchy
+from repro.hardware.counters import CACHE_LINE_BYTES, PerfCounters
+from repro.hardware.interconnect import Interconnect
+from repro.hardware.iommu import Iommu
+from repro.hardware.latency import LatencyModel
+from repro.hardware.memory import MachineMemory
+from repro.hardware.topology import NumaTopology
+
+
+class Machine:
+    """A simulated NUMA machine.
+
+    Args:
+        topology: node/CPU/link layout.
+        frames_per_node: simulated frames per node (derived from the
+            topology's bank size and the config's page scale when omitted).
+        caches: cache hierarchy shared by all CPUs.
+        latency: the contention-aware latency model.
+        config: global simulation knobs.
+        iommu_enabled: whether the machine has a usable IOMMU.
+    """
+
+    def __init__(
+        self,
+        topology: NumaTopology,
+        caches: CacheHierarchy,
+        latency: Optional[LatencyModel] = None,
+        frames_per_node: Optional[int] = None,
+        config: SimConfig = DEFAULT_CONFIG,
+        iommu_enabled: bool = True,
+    ):
+        self.topology = topology
+        self.caches = caches
+        self.latency = latency or LatencyModel()
+        self.config = config
+        if frames_per_node is None:
+            bank_bytes = topology.node_memory_gib * (1 << 30)
+            frames_per_node = max(1, int(bank_bytes // config.page_bytes))
+        self.memory = MachineMemory(
+            num_nodes=topology.num_nodes,
+            frames_per_node=frames_per_node,
+            controller_gib_s=topology.memory_controller_gib_s,
+        )
+        self.interconnect = Interconnect(topology)
+        self.counters = PerfCounters(topology.num_nodes)
+        self.iommu = Iommu(enabled=iommu_enabled)
+
+    # ------------------------------------------------------------------
+    # Geometry shortcuts
+
+    @property
+    def num_nodes(self) -> int:
+        return self.topology.num_nodes
+
+    @property
+    def num_cpus(self) -> int:
+        return self.topology.num_cpus
+
+    def node_of_frame(self, mfn: int) -> int:
+        """NUMA node owning machine frame ``mfn``."""
+        return self.memory.node_of_frame(mfn)
+
+    # ------------------------------------------------------------------
+    # Epoch accounting
+
+    def record_node_traffic(self, matrix: np.ndarray) -> None:
+        """Account one epoch's access matrix on every hardware component.
+
+        ``matrix[src, dst]`` is the number of memory accesses issued from
+        node ``src`` to frames of node ``dst``. Each access moves one cache
+        line over the route and through the destination controller.
+        """
+        if matrix.shape != (self.num_nodes, self.num_nodes):
+            raise ValueError("access matrix shape mismatch")
+        self.counters.record_matrix(matrix)
+        col_bytes = matrix.sum(axis=0) * CACHE_LINE_BYTES
+        for node in range(self.num_nodes):
+            if col_bytes[node]:
+                self.memory.controllers[node].serve(int(col_bytes[node]))
+        for src in range(self.num_nodes):
+            for dst in range(self.num_nodes):
+                if src != dst and matrix[src, dst]:
+                    self.interconnect.record_access(
+                        src, dst, int(matrix[src, dst] * CACHE_LINE_BYTES)
+                    )
+
+    def congestion(self, seconds: float) -> Tuple[np.ndarray, Dict[Tuple[int, int], float]]:
+        """Controller and link utilisations for the traffic recorded so far.
+
+        Returns:
+            (rho_controllers, rho_links): per-node controller utilisation
+            array and per-link utilisation dict, both unclamped.
+        """
+        rho_c = np.array(
+            [c.utilization(seconds) for c in self.memory.controllers]
+        )
+        rho_l = self.interconnect.utilizations(seconds)
+        return rho_c, rho_l
+
+    def access_latency_matrix(self, seconds: float) -> np.ndarray:
+        """Per-(src, dst) memory latency (cycles) under current congestion."""
+        rho_c, _ = self.congestion(seconds)
+        out = np.zeros((self.num_nodes, self.num_nodes))
+        for src in range(self.num_nodes):
+            for dst in range(self.num_nodes):
+                hops = self.topology.hops(src, dst)
+                rho_link = self.interconnect.route_utilization(src, dst, seconds)
+                out[src, dst] = self.latency.memory_latency_cycles(
+                    hops, float(rho_c[dst]), rho_link
+                )
+        return out
+
+    def end_epoch(self) -> np.ndarray:
+        """Archive counters and reset per-epoch accounting on all parts."""
+        snapshot = self.counters.end_epoch()
+        self.memory.reset_controllers()
+        self.interconnect.reset()
+        return snapshot
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Machine({self.num_nodes} nodes x {self.topology.cpus_per_node} CPUs, "
+            f"{self.memory.frames_per_node} frames/node)"
+        )

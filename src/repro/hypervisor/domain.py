@@ -1,0 +1,99 @@
+"""Domains (virtual machines) and virtual CPUs.
+
+Xen calls virtual machines *domains*: ``dom0`` is the privileged management
+domain (it also drives I/O for the others), ``domU`` domains run guests.
+A domain holds vCPUs, a guest-physical address space backed by the p2m
+table, and — in this reproduction — the handle of its active NUMA policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.hypervisor.p2m import P2MTable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.policies.base import NumaPolicy
+
+
+@dataclass
+class VCpu:
+    """A virtual CPU of a domain.
+
+    Attributes:
+        domain_id: owning domain.
+        vcpu_id: index inside the domain.
+        pinned_pcpu: hard affinity to a physical CPU (the paper pins all
+            vCPUs in every experiment to remove scheduler noise).
+    """
+
+    domain_id: int
+    vcpu_id: int
+    pinned_pcpu: Optional[int] = None
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        return (self.domain_id, self.vcpu_id)
+
+
+class Domain:
+    """A virtual machine.
+
+    Args:
+        domain_id: 0 for dom0, >0 for domU.
+        name: human-readable label.
+        num_vcpus: vCPU count.
+        memory_pages: guest-physical pages (simulated pages).
+        home_nodes: NUMA nodes the domain's memory is packed onto
+            (chosen by the hypervisor at creation, paper section 3.3).
+    """
+
+    def __init__(
+        self,
+        domain_id: int,
+        name: str,
+        num_vcpus: int,
+        memory_pages: int,
+        home_nodes: Sequence[int],
+    ):
+        if num_vcpus < 1:
+            raise ValueError("a domain needs at least one vCPU")
+        if memory_pages < 1:
+            raise ValueError("a domain needs memory")
+        if not home_nodes:
+            raise ValueError("a domain needs at least one home node")
+        self.domain_id = domain_id
+        self.name = name
+        self.memory_pages = memory_pages
+        self.home_nodes: Tuple[int, ...] = tuple(home_nodes)
+        self.vcpus: List[VCpu] = [VCpu(domain_id, i) for i in range(num_vcpus)]
+        self.p2m = P2MTable(domain_id)
+        #: The active NUMA policy object (set by the policy manager).
+        self.numa_policy: Optional["NumaPolicy"] = None
+        #: True once the domain's memory is populated.
+        self.built = False
+
+    @property
+    def is_dom0(self) -> bool:
+        return self.domain_id == 0
+
+    @property
+    def num_vcpus(self) -> int:
+        return len(self.vcpus)
+
+    def pin_vcpu(self, vcpu_id: int, pcpu: int) -> None:
+        """Hard-pin one vCPU to a physical CPU."""
+        self.vcpus[vcpu_id].pinned_pcpu = pcpu
+
+    def gpfn_range(self) -> range:
+        """All guest-physical frame numbers of the domain."""
+        return range(self.memory_pages)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "dom0" if self.is_dom0 else "domU"
+        return (
+            f"Domain({self.domain_id}:{self.name}, {kind}, "
+            f"{self.num_vcpus} vCPUs, {self.memory_pages} pages, "
+            f"home={list(self.home_nodes)})"
+        )

@@ -1,0 +1,82 @@
+"""The hypervisor page-fault path.
+
+When a guest access reaches a gpfn whose p2m entry is invalid, the hardware
+raises a fault into the hypervisor. The fault handler asks the domain's
+NUMA policy where to place the page; the policy answers with a node, the
+handler allocates a frame there and installs the entry. This is exactly how
+first-touch works at the hypervisor level (paper section 4.2.3): released
+pages get invalidated, so the next toucher's node receives the page.
+
+Write faults on write-protected entries are the migration race guard
+(section 4.1): the guest spins until the copy finishes and the entry is
+remapped; we account their cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+from repro.errors import P2MError
+from repro.hypervisor.allocator import XenHeapAllocator
+from repro.hypervisor.domain import Domain
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.policies.base import NumaPolicy
+
+
+@dataclass
+class FaultStats:
+    """Counters kept by the fault handler."""
+
+    hypervisor_faults: int = 0
+    write_protection_faults: int = 0
+    seconds_spent: float = 0.0
+
+
+class FaultHandler:
+    """Resolves hypervisor page faults through the domain's NUMA policy.
+
+    Args:
+        allocator: heap used to back faulting pages.
+        fault_cost_seconds: guest exit + entry + table walk per fault.
+    """
+
+    def __init__(self, allocator: XenHeapAllocator, fault_cost_seconds: float = 2.0e-6):
+        self.allocator = allocator
+        self.fault_cost_seconds = fault_cost_seconds
+        self.stats = FaultStats()
+
+    def on_access(self, domain: Domain, vcpu_id: int, gpfn: int, node_of_vcpu: int) -> int:
+        """Resolve one guest access; returns the backing mfn.
+
+        Fast path: valid entry, no cost. Slow path: the domain's policy
+        picks a node (first-touch answers ``node_of_vcpu``), the handler
+        allocates and maps a frame there.
+        """
+        entry = domain.p2m.lookup(gpfn)
+        if entry is not None and entry.valid:
+            return entry.mfn
+        return self.handle_fault(domain, vcpu_id, gpfn, node_of_vcpu)
+
+    def handle_fault(self, domain: Domain, vcpu_id: int, gpfn: int, node_of_vcpu: int) -> int:
+        """Take the hypervisor fault path for ``gpfn``."""
+        self.stats.hypervisor_faults += 1
+        self.stats.seconds_spent += self.fault_cost_seconds
+        policy = domain.numa_policy
+        if policy is not None:
+            node = policy.on_hypervisor_fault(domain, vcpu_id, gpfn, node_of_vcpu)
+        else:
+            # No policy: fall back to the first home node.
+            node = domain.home_nodes[0]
+        mfn = self.allocator.alloc_page_on(node)
+        domain.p2m.set_entry(gpfn, mfn)
+        return mfn
+
+    def on_write_protected(self, domain: Domain, gpfn: int, wait_seconds: float = 1.0e-6) -> None:
+        """Account a write fault against a page being migrated."""
+        entry = domain.p2m.lookup(gpfn)
+        if entry is None or not entry.valid:
+            raise P2MError(f"write-protection fault on invalid gpfn {gpfn:#x}")
+        self.stats.write_protection_faults += 1
+        self.stats.seconds_spent += wait_seconds

@@ -1,0 +1,170 @@
+"""The hypervisor page table (p2m): guest-physical -> machine mapping.
+
+Xen isolates each virtual machine's memory with a per-domain hardware page
+table mapping the domain's *physical* (guest-physical) frames to *machine*
+frames (paper section 2.1). This table is the lever of every NUMA policy in
+the paper (section 4.1):
+
+* a policy *places* a guest page on a node by mapping its gpfn to an mfn of
+  that node;
+* first-touch *traps* the first access to a page by leaving/making the
+  entry invalid, so the access raises a hypervisor page fault;
+* Carrefour *migrates* a page by write-protecting the entry, copying the
+  frame, then remapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.errors import P2MError
+
+
+@dataclass
+class P2MEntry:
+    """One hypervisor page table entry.
+
+    Attributes:
+        mfn: backing machine frame.
+        valid: invalid entries fault on access (first-touch trap).
+        writable: cleared during migration to freeze the page content.
+    """
+
+    mfn: int
+    valid: bool = True
+    writable: bool = True
+
+
+class P2MTable:
+    """Per-domain guest-physical to machine frame mapping.
+
+    The table is sparse: a gpfn without an entry has never been populated.
+    An entry can also exist but be *invalid* — the distinction matters for
+    first-touch, which invalidates entries of released pages while the
+    guest still considers those gpfns part of its physical memory.
+    """
+
+    def __init__(self, domain_id: int):
+        self.domain_id = domain_id
+        self._entries: Dict[int, P2MEntry] = {}
+        # Statistics used by the experiments.
+        self.faults_taken = 0
+        self.invalidations = 0
+        self.migrations = 0
+        #: Optional observer notified of mapping changes; the simulation
+        #: engine uses it to keep page->node placement views in sync.
+        #: Must provide ``entry_set(gpfn, mfn)`` and ``entry_invalidated(gpfn)``.
+        self.observer: Optional[object] = None
+
+    # ------------------------------------------------------------------
+    # Population
+
+    def set_entry(self, gpfn: int, mfn: int, writable: bool = True) -> None:
+        """Map ``gpfn`` to ``mfn`` (creating or revalidating the entry)."""
+        if gpfn < 0 or mfn < 0:
+            raise P2MError("frame numbers must be non-negative")
+        self._entries[gpfn] = P2MEntry(mfn=mfn, valid=True, writable=writable)
+        if self.observer is not None:
+            self.observer.entry_set(gpfn, mfn)
+
+    def invalidate(self, gpfn: int) -> Optional[int]:
+        """Invalidate the entry for ``gpfn``; next access faults.
+
+        Returns the machine frame that was backing the page (so the caller
+        can return it to the heap), or None if the entry was absent or
+        already invalid.
+        """
+        entry = self._entries.get(gpfn)
+        if entry is None or not entry.valid:
+            return None
+        entry.valid = False
+        self.invalidations += 1
+        mfn, entry.mfn = entry.mfn, -1
+        if self.observer is not None:
+            self.observer.entry_invalidated(gpfn)
+        return mfn
+
+    def remove(self, gpfn: int) -> Optional[int]:
+        """Drop the entry entirely (domain teardown). Returns the mfn if valid."""
+        entry = self._entries.pop(gpfn, None)
+        if entry is None or not entry.valid:
+            return None
+        if self.observer is not None:
+            self.observer.entry_invalidated(gpfn)
+        return entry.mfn
+
+    # ------------------------------------------------------------------
+    # Lookup
+
+    def lookup(self, gpfn: int) -> Optional[P2MEntry]:
+        """The raw entry for ``gpfn`` (None if never populated)."""
+        return self._entries.get(gpfn)
+
+    def translate(self, gpfn: int) -> int:
+        """CPU-side translation; raises :class:`P2MError` on invalid entries.
+
+        The hypervisor fault path catches that error and hands the fault to
+        the domain's NUMA policy.
+        """
+        entry = self._entries.get(gpfn)
+        if entry is None or not entry.valid:
+            raise P2MError(f"invalid p2m entry for gpfn {gpfn:#x}")
+        return entry.mfn
+
+    def is_valid(self, gpfn: int) -> bool:
+        """True if ``gpfn`` currently translates without faulting."""
+        entry = self._entries.get(gpfn)
+        return entry is not None and entry.valid
+
+    # ------------------------------------------------------------------
+    # Migration support (internal interface, paper section 4.1)
+
+    def write_protect(self, gpfn: int) -> None:
+        """Clear the writable bit so concurrent guest writes trap."""
+        entry = self._require_valid(gpfn)
+        entry.writable = False
+
+    def remap(self, gpfn: int, new_mfn: int) -> int:
+        """Point a write-protected entry at ``new_mfn``; restore writability.
+
+        Returns the old machine frame (to be freed by the caller).
+        """
+        entry = self._require_valid(gpfn)
+        if entry.writable:
+            raise P2MError("remap requires a write-protected entry")
+        old = entry.mfn
+        entry.mfn = new_mfn
+        entry.writable = True
+        self.migrations += 1
+        if self.observer is not None:
+            self.observer.entry_set(gpfn, new_mfn)
+        return old
+
+    def unprotect(self, gpfn: int) -> None:
+        """Abort a migration: restore writability without remapping."""
+        entry = self._require_valid(gpfn)
+        entry.writable = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    def valid_entries(self) -> Iterator[Tuple[int, P2MEntry]]:
+        """Iterate (gpfn, entry) over valid entries."""
+        return ((g, e) for g, e in self._entries.items() if e.valid)
+
+    @property
+    def num_entries(self) -> int:
+        """Total entries, valid or not."""
+        return len(self._entries)
+
+    @property
+    def num_valid(self) -> int:
+        """Valid (translatable) entries."""
+        return sum(1 for e in self._entries.values() if e.valid)
+
+    def _require_valid(self, gpfn: int) -> P2MEntry:
+        entry = self._entries.get(gpfn)
+        if entry is None or not entry.valid:
+            raise P2MError(f"gpfn {gpfn:#x} has no valid entry")
+        return entry

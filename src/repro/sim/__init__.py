@@ -1,0 +1,27 @@
+"""Epoch-based simulation engine and the Linux/Xen environments."""
+
+from repro.sim.placement import SegmentPlacement, PlacementTracker
+from repro.sim.calibration import OpModel, calibrate_app
+from repro.sim.results import RunResult, EpochRecord
+from repro.sim.environment import (
+    Environment,
+    LinuxEnvironment,
+    XenEnvironment,
+    VmSpec,
+)
+from repro.sim.engine import run_app, run_apps
+
+__all__ = [
+    "SegmentPlacement",
+    "PlacementTracker",
+    "OpModel",
+    "calibrate_app",
+    "RunResult",
+    "EpochRecord",
+    "Environment",
+    "LinuxEnvironment",
+    "XenEnvironment",
+    "VmSpec",
+    "run_app",
+    "run_apps",
+]

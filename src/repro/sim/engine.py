@@ -1,0 +1,278 @@
+"""The epoch-based simulation engine.
+
+Each epoch:
+
+1. every active thread's operation rate is solved together with the
+   machine congestion it creates (a short fixed-point iteration:
+   operation rates -> access matrix -> controller/link utilisation ->
+   memory latencies -> operation rates);
+2. work is committed per thread, with interpolated finish times;
+3. the traffic is recorded on the hardware counters, per-application
+   metrics (imbalance, interconnect load — the Table 1 definitions) are
+   archived;
+4. dynamic policies receive their counter observation and may migrate
+   pages (whose cost is charged to the next epoch);
+5. a mechanical sample of the page churn runs through the real
+   allocator/queue/fault machinery.
+
+Completion time of an application is its initialisation time plus the
+(interpolated) instant its slowest thread reaches the work target.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hardware.counters import CACHE_LINE_BYTES
+from repro.hardware.machine import Machine
+from repro.sim.instance import AppRun
+from repro.sim.results import EpochRecord, RunResult
+from repro.sim.environment import Environment, World
+
+#: Fixed-point iterations per epoch (rates vs congestion). The queueing
+#: curve is steep past the knee, so the solver needs a few damped rounds.
+SOLVER_ITERATIONS = 8
+#: Damping of the latency update between iterations (avoids oscillation
+#: around the saturation knee).
+SOLVER_DAMPING = 0.5
+#: Default epoch cap (a run 15x slower than nominal still completes).
+DEFAULT_MAX_EPOCHS = 800
+
+
+class CongestionSolver:
+    """Turns an access matrix into per-(src, dst) memory latencies."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        n = machine.num_nodes
+        topo = machine.topology
+        self.num_nodes = n
+        self.hops = np.array(
+            [[topo.hops(s, d) for d in range(n)] for s in range(n)]
+        )
+        links = list(topo.links)
+        self._link_index = {l.key: i for i, l in enumerate(links)}
+        self.link_bw = np.array([l.bandwidth_gib_s * (1 << 30) for l in links])
+        self.controller_bw = topo.memory_controller_gib_s * (1 << 30)
+        self.route_links: Dict[Tuple[int, int], List[int]] = {}
+        for s in range(n):
+            for d in range(n):
+                self.route_links[(s, d)] = [
+                    self._link_index[l.key] for l in topo.route(s, d)
+                ]
+
+    def congestion(self, matrix: np.ndarray, seconds: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Controller and link utilisations for ``matrix`` over ``seconds``."""
+        col_bytes = matrix.sum(axis=0) * CACHE_LINE_BYTES
+        rho_c = col_bytes / (self.controller_bw * seconds)
+        link_bytes = np.zeros(len(self.link_bw))
+        for s in range(self.num_nodes):
+            for d in range(self.num_nodes):
+                if s == d:
+                    continue
+                traffic = matrix[s, d] * CACHE_LINE_BYTES
+                if traffic == 0:
+                    continue
+                for li in self.route_links[(s, d)]:
+                    link_bytes[li] += traffic
+        rho_l = link_bytes / (self.link_bw * seconds)
+        return rho_c, rho_l
+
+    def latency_matrix(
+        self, rho_c: np.ndarray, rho_l: np.ndarray
+    ) -> np.ndarray:
+        """Per-(src, dst) access latency in *seconds* under congestion.
+
+        Utilisations are scaled by the configured traffic burstiness: the
+        queueing happens at the traffic peaks, not at the epoch average.
+        """
+        model = self.machine.latency
+        burst = self.machine.config.traffic_burstiness
+        n = self.num_nodes
+        out = np.zeros((n, n))
+        for s in range(n):
+            for d in range(n):
+                route = self.route_links[(s, d)]
+                link_rho = max((rho_l[li] for li in route), default=0.0)
+                cycles = model.memory_latency_cycles(
+                    int(self.hops[s, d]),
+                    float(rho_c[d]) * burst,
+                    float(link_rho) * burst,
+                )
+                out[s, d] = model.cycles_to_seconds(cycles)
+        return out
+
+
+def _thread_arrays(run: AppRun) -> Tuple[np.ndarray, np.ndarray]:
+    shares = np.array([t.cpu_share for t in run.threads])
+    return shares, np.array([t.tid for t in run.threads])
+
+
+def _compute_ops(
+    run: AppRun,
+    D: np.ndarray,
+    src: np.ndarray,
+    active: np.ndarray,
+    latm_seconds: np.ndarray,
+    epoch_seconds: float,
+) -> np.ndarray:
+    """Operations each thread completes this epoch under given latencies."""
+    ctx = run.context
+    shares = np.array([t.cpu_share for t in run.threads])
+    lat_rows = latm_seconds[src]
+    mem_s = (D * lat_rows).sum(axis=1)
+    tlb_s = getattr(ctx, "tlb_seconds_per_op", 0.0)
+    time_per_op = (
+        run.op_model.cpu_seconds + mem_s + tlb_s + ctx.io_seconds_per_op
+    )
+    avail = (
+        epoch_seconds
+        * shares
+        * (1.0 - ctx.sync_fraction)
+        / ctx.churn_slowdown
+    )
+    # Dynamic-policy overhead from the previous epoch stalls the domain.
+    avail = np.maximum(0.0, avail - run.pending_policy_cost)
+    ops = np.where(active, avail / time_per_op, 0.0)
+    return ops
+
+
+def _per_run_matrix(
+    D: np.ndarray, src: np.ndarray, ops: np.ndarray, num_nodes: int
+) -> np.ndarray:
+    matrix = np.zeros((num_nodes, num_nodes))
+    np.add.at(matrix, src, D * ops[:, None])
+    return matrix
+
+
+def run_world(world: World, max_epochs: int = DEFAULT_MAX_EPOCHS) -> List[RunResult]:
+    """Simulate a world to completion; returns one result per app run."""
+    machine = world.machine
+    solver = CongestionSolver(machine)
+    n = machine.num_nodes
+    epoch_seconds = world.epoch_seconds
+
+    for run in world.runs:
+        run.initialize()
+
+    latm = solver.latency_matrix(np.zeros(n), np.zeros(len(solver.link_bw)))
+    now = 0.0
+    epoch = 0
+    truncated = set()
+    while epoch < max_epochs:
+        for hook in world.epoch_hooks.get(epoch, ()):
+            hook(world)
+        active_runs = [r for r in world.runs if not r.finished]
+        if not active_runs:
+            break
+        # ---- fixed point: rates vs congestion
+        per_run: List[Tuple[AppRun, np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+        rho_c = np.zeros(n)
+        rho_l = np.zeros(len(solver.link_bw))
+        for _ in range(SOLVER_ITERATIONS):
+            total = np.zeros((n, n))
+            per_run = []
+            for run in active_runs:
+                D, src, active = run.destination_matrix(n)
+                ops = _compute_ops(run, D, src, active, latm, epoch_seconds)
+                total += _per_run_matrix(D, src, ops, n)
+                per_run.append((run, D, src, active, ops))
+            rho_c, rho_l = solver.congestion(total, epoch_seconds)
+            latm = (
+                SOLVER_DAMPING * latm
+                + (1.0 - SOLVER_DAMPING) * solver.latency_matrix(rho_c, rho_l)
+            )
+
+        # ---- commit work, record traffic and metrics
+        total = np.zeros((n, n))
+        for run, D, src, active, ops in per_run:
+            run.commit_work(ops, now, epoch_seconds)
+            matrix = _per_run_matrix(D, src, ops, n)
+            total += matrix
+            run_rho_c, run_rho_l = solver.congestion(matrix, epoch_seconds)
+            ops_by_node = np.zeros(n)
+            np.add.at(ops_by_node, src, ops)
+            observation = run.build_observation(
+                access_matrix=matrix,
+                controller_rho=rho_c,
+                max_link_rho=float(rho_l.max()) if len(rho_l) else 0.0,
+                epoch_seconds=epoch_seconds,
+                ops_by_node=ops_by_node,
+            )
+            cost = run.context.policy_on_epoch(run, observation)
+            run.pending_policy_cost = cost
+            migrations = 0
+            if run.context.policy_is_dynamic:
+                migrations = _migrations_of(run)
+            run.records.append(
+                EpochRecord(
+                    epoch=epoch,
+                    ops_done=float(ops.sum()),
+                    imbalance=observation.imbalance,
+                    max_link_rho=float(run_rho_l.max()) if len(run_rho_l) else 0.0,
+                    local_fraction=observation.local_fraction,
+                    policy_cost_seconds=cost,
+                    migrations=migrations,
+                )
+            )
+            run.churn_step()
+        machine.record_node_traffic(total)
+        machine.end_epoch()
+        now += epoch_seconds
+        epoch += 1
+
+    results: List[RunResult] = []
+    for run in world.runs:
+        if run.finished:
+            finish = max(t.finish_time for t in run.threads)
+        else:
+            finish = now
+            truncated.add(run.app.name)
+        completion = run.init_seconds + finish
+        stats = {
+            "init_seconds": run.init_seconds,
+            "truncated": 1.0 if run.app.name in truncated else 0.0,
+            "sync_fraction": run.context.sync_fraction,
+            "churn_slowdown": run.context.churn_slowdown,
+            "io_seconds_per_op": run.context.io_seconds_per_op,
+        }
+        results.append(
+            RunResult(
+                app=run.app.name,
+                environment=world.label,
+                policy=run.context.policy_label,
+                completion_seconds=completion,
+                epochs=epoch,
+                records=run.records,
+                stats=stats,
+            )
+        )
+    world.teardown()
+    return results
+
+
+def _migrations_of(run: AppRun) -> int:
+    """Pages the dynamic policy moved in its last iteration."""
+    context = run.context
+    policy = getattr(context, "domain", None)
+    if policy is not None:  # Xen mode
+        numa_policy = context.domain.numa_policy
+        engine = getattr(numa_policy, "engine", None)
+    else:  # Linux mode
+        engine = getattr(context.numa_mode, "engine", None)
+    if engine is None or not engine.history:
+        return 0
+    return engine.history[-1].applied
+
+
+def run_apps(env: Environment, specs: Sequence, max_epochs: int = DEFAULT_MAX_EPOCHS) -> List[RunResult]:
+    """Set up ``env`` with ``specs`` and simulate to completion."""
+    world = env.setup(specs)
+    return run_world(world, max_epochs=max_epochs)
+
+
+def run_app(env: Environment, spec, max_epochs: int = DEFAULT_MAX_EPOCHS) -> RunResult:
+    """Single-application convenience wrapper."""
+    return run_apps(env, [spec], max_epochs=max_epochs)[0]

@@ -1,0 +1,672 @@
+"""Execution environments: native Linux and Xen/Xen+.
+
+An environment builds a *world*: a fresh machine, the OS/hypervisor stack
+on top, and one :class:`~repro.sim.instance.AppRun` per application, each
+with a context object that performs the real memory mechanics (guest
+faults, hypervisor faults, page-event queues, policy switches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import SimConfig, DEFAULT_CONFIG
+from repro.core.page_queue import lock_service_slowdown
+from repro.core.policies.base import PolicyName, PolicySpec
+from repro.core.interface import ExternalInterface
+from repro.errors import ReproError
+from repro.guest.numa import LinuxNumaMode
+from repro.guest.page_alloc import GuestPageAllocator
+from repro.guest.pv_patch import PvNumaPatch
+from repro.guest.sync import SyncModel
+from repro.guest.vmm import GuestAddressSpace
+from repro.hardware.machine import Machine
+from repro.hardware.presets import amd48
+from repro.hypervisor.xen import Hypervisor, XenFeatures, XEN, XEN_PLUS
+from repro.sim.calibration import calibrate_app
+from repro.sim.instance import AppRun, RuntimeSegment, ThreadCtx
+from repro.sim.placement import PlacementTracker
+from repro.vio.disk import DiskModel, IoMode
+from repro.workloads.app import AppSpec, build_segments
+
+#: The two applications whose blocking locks Xen+ replaces with MCS spin
+#: loops in single-VM runs (section 5.3.2).
+MCS_APPS = frozenset({"facesim", "streamcluster"})
+
+#: Guest kernel syscall cost charged per churned page in native mode.
+NATIVE_CHURN_SYSCALL_SECONDS = 0.2e-6
+
+GIB = 1 << 30
+
+
+@dataclass
+class VmSpec:
+    """One virtual machine of a Xen experiment.
+
+    Attributes:
+        app: the application it runs (one app per VM, as in the paper).
+        policy: the NUMA policy selection.
+        num_vcpus: vCPU count (defaults to the machine's CPU count).
+        home_nodes: NUMA placement (defaults to Xen's greedy choice).
+        pin_pcpus: explicit vCPU->pCPU pinning.
+        memory_pages: guest-physical size override (sized from the
+            footprint plus the fragmented head/tail GiBs when omitted).
+    """
+
+    app: AppSpec
+    policy: PolicySpec = field(default_factory=lambda: PolicySpec(PolicyName.ROUND_4K))
+    num_vcpus: Optional[int] = None
+    home_nodes: Optional[Sequence[int]] = None
+    pin_pcpus: Optional[Sequence[int]] = None
+    memory_pages: Optional[int] = None
+
+
+@dataclass
+class World:
+    """Everything one engine invocation simulates.
+
+    Attributes:
+        epoch_hooks: callables invoked at the *start* of given epochs —
+            the hook point for mid-run events like vCPU migrations (the
+            load-balancing scenario of the paper's introduction).
+    """
+
+    machine: Machine
+    runs: List[AppRun]
+    label: str
+    epoch_seconds: float
+    teardown: Callable[[], None] = lambda: None
+    epoch_hooks: dict = field(default_factory=dict)
+
+    def at_epoch(self, epoch: int, hook: Callable[["World"], None]) -> None:
+        """Schedule ``hook(world)`` at the start of ``epoch``."""
+        self.epoch_hooks.setdefault(epoch, []).append(hook)
+
+
+def migrate_vcpu(run, tid: int, new_pcpu: int) -> None:
+    """Move one vCPU (and its pinned thread) to a new physical CPU.
+
+    This is the hypervisor-side load balancing the paper's introduction
+    defends: because the NUMA policy lives *below* the guest, the vCPU can
+    move freely — the guest never sees a topology change (unlike the
+    Amazon EC2 approach of exposing the topology, which pins the vCPU
+    layout for the VM's lifetime). The thread's placement becomes remote
+    until the policy (e.g. Carrefour) migrates its hot pages after it.
+    """
+    context = run.context
+    hypervisor = context.hypervisor
+    vcpu = context.domain.vcpus[tid]
+    hypervisor.scheduler.pin(vcpu, new_pcpu)
+    thread = run.threads[tid]
+    thread.node = hypervisor.machine.topology.node_of_cpu(new_pcpu)
+    thread.cpu_share = hypervisor.scheduler.cpu_share(vcpu)
+
+
+class Environment:
+    """Base class: holds the machine factory and shared knobs."""
+
+    label = "abstract"
+
+    def __init__(
+        self,
+        config: SimConfig = DEFAULT_CONFIG,
+        machine_factory: Optional[Callable[[], Machine]] = None,
+        disk: Optional[DiskModel] = None,
+    ):
+        self.config = config
+        self._machine_factory = machine_factory or (
+            lambda: amd48(config=config)
+        )
+        self.disk = disk or DiskModel()
+
+    def _threads_per_run(self, machine: Machine, count: int) -> int:
+        return count if count else machine.num_cpus
+
+
+# ======================================================================
+# Native Linux
+# ======================================================================
+
+
+class _LinuxContext:
+    """Run context of one application on bare-metal Linux."""
+
+    domain_id = 0
+
+    def __init__(
+        self,
+        machine: Machine,
+        numa_mode: LinuxNumaMode,
+        sync_fraction: float,
+        churn_slowdown: float,
+        io_seconds_per_op: float,
+        fault_cost_seconds: float = 0.5e-6,
+    ):
+        self.machine = machine
+        self.numa_mode = numa_mode
+        self.sync_fraction = sync_fraction
+        self.churn_slowdown = churn_slowdown
+        self.io_seconds_per_op = io_seconds_per_op
+        self.fault_cost_seconds = fault_cost_seconds
+        self.tracker = PlacementTracker(node_of_frame=machine.node_of_frame)
+        numa_mode.on_page_placed = self.tracker.page_placed
+        numa_mode.on_page_moved = self.tracker.page_placed
+        # Frame release is keyed by vpfn through the NUMA mode (Carrefour
+        # may migrate a page after the fault, making the page-table frame
+        # stale), so the address space's frame-keyed release is a no-op.
+        self.aspace = GuestAddressSpace(
+            backing=numa_mode.backing, release=lambda mfn: None
+        )
+        self._init_faults = 0
+        self._vma_of_segment = {}
+
+    @property
+    def policy_is_dynamic(self) -> bool:
+        return self.numa_mode.engine is not None
+
+    @property
+    def policy_label(self) -> str:
+        return self.numa_mode.name
+
+    def attach_segment(self, segment: RuntimeSegment) -> None:
+        vma = self.aspace.mmap(segment.definition.name, segment.num_pages)
+        self._vma_of_segment[id(segment)] = vma
+        # In native mode the page key is the (stable) virtual page.
+        for idx in range(segment.num_pages):
+            vpfn = vma.start_vpfn + idx
+            segment.keys[idx] = vpfn
+            self.tracker.track(vpfn, segment.placement, idx)
+
+    def touch_page(self, run: AppRun, segment: RuntimeSegment, idx: int, thread: ThreadCtx) -> int:
+        vma = self._vma_of_segment[id(segment)]
+        vpfn = vma.start_vpfn + idx
+        guest_thread = _GuestThreadShim(thread)
+        already = self.aspace.translate(vpfn) is not None
+        mfn = self.aspace.touch(vpfn, guest_thread)
+        if not already:
+            self._init_faults += 1
+        return self.machine.node_of_frame(mfn)
+
+    def release_page(self, run: AppRun, segment: RuntimeSegment, idx: int) -> None:
+        vma = self._vma_of_segment[id(segment)]
+        vpfn = vma.start_vpfn + idx
+        if self.aspace.unmap_page(vpfn):
+            self.numa_mode.release_vpfn(vpfn)
+            segment.placement.release(idx)
+
+    def take_init_seconds(self) -> float:
+        seconds = self._init_faults * self.fault_cost_seconds
+        self._init_faults = 0
+        return seconds
+
+    def policy_on_epoch(self, run: AppRun, observation) -> float:
+        return self.numa_mode.on_epoch(observation)
+
+    def teardown(self) -> None:
+        self.numa_mode.shutdown()
+
+
+@dataclass
+class _GuestThreadShim:
+    """Adapts an engine ThreadCtx to the guest Thread interface."""
+
+    ctx: ThreadCtx
+
+    @property
+    def tid(self) -> int:
+        return self.ctx.tid
+
+    @property
+    def node(self) -> int:
+        return self.ctx.node
+
+    @property
+    def vcpu_id(self) -> int:
+        return self.ctx.tid
+
+
+class LinuxEnvironment(Environment):
+    """Bare-metal Linux (the paper's baseline and Figure 2 platform).
+
+    Args:
+        policy: "first-touch" (Linux default) or "round-4k".
+        carrefour: run the Carrefour daemon.
+        mcs_locks: use MCS spin locks for the apps that benefit (only in
+            the LinuxNUMA baseline, section 5.3.3).
+    """
+
+    label = "linux"
+
+    def __init__(
+        self,
+        policy: str = "first-touch",
+        carrefour: bool = False,
+        mcs_locks: bool = False,
+        num_threads: int = 0,
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        self.policy = policy
+        self.carrefour = carrefour
+        self.mcs_locks = mcs_locks
+        self.num_threads = num_threads
+
+    def setup(self, apps: Sequence[AppSpec]) -> World:
+        """Build a world running ``apps`` (usually a single one) natively."""
+        machine = self._machine_factory()
+        sync = SyncModel()
+        runs: List[AppRun] = []
+        contexts: List[_LinuxContext] = []
+        cpu_cursor = 0
+        for app in apps:
+            threads_n = self._threads_per_run(machine, self.num_threads)
+            numa_mode = LinuxNumaMode(
+                machine, policy=self.policy, carrefour=self.carrefour
+            )
+            op_model = calibrate_app(app, machine, threads_n)
+            mcs = self.mcs_locks and app.name in MCS_APPS
+            sync_fraction = sync.overhead_fraction(
+                app.ctx_switches_k_s * 1e3, "native", mcs_locks=mcs
+            )
+            churn = 1.0
+            if app.churn_per_thread_s > 0:
+                churn = 1.0 / max(
+                    1e-9,
+                    1.0
+                    - min(
+                        0.9,
+                        app.churn_per_thread_s * NATIVE_CHURN_SYSCALL_SECONDS,
+                    ),
+                )
+            eff_bw = self.disk.effective_bandwidth_bytes_s(
+                app.io_block_kib * 1024, IoMode.NATIVE
+            )
+            io_per_op = op_model.io_bytes_per_op * threads_n / eff_bw
+            context = _LinuxContext(
+                machine=machine,
+                numa_mode=numa_mode,
+                sync_fraction=sync_fraction,
+                churn_slowdown=churn,
+                io_seconds_per_op=io_per_op,
+            )
+            threads = []
+            for tid in range(threads_n):
+                cpu = (cpu_cursor + tid) % machine.num_cpus
+                threads.append(
+                    ThreadCtx(
+                        tid=tid,
+                        node=machine.topology.node_of_cpu(cpu),
+                        cpu_share=1.0,
+                    )
+                )
+            cpu_cursor += threads_n
+            segments = [
+                RuntimeSegment(d, machine.num_nodes)
+                for d in build_segments(app, threads_n, self.config)
+            ]
+            for segment in segments:
+                context.attach_segment(segment)
+            rng = np.random.default_rng(
+                self.config.rng_seed + hash(app.name) % 10000
+            )
+            runs.append(
+                AppRun(app, op_model, segments, threads, context, self.config, rng)
+            )
+            contexts.append(context)
+
+        def teardown():
+            for c in contexts:
+                c.teardown()
+
+        return World(
+            machine=machine,
+            runs=runs,
+            label=self.label,
+            epoch_seconds=self.config.epoch_seconds,
+            teardown=teardown,
+        )
+
+
+# ======================================================================
+# Xen / Xen+
+# ======================================================================
+
+
+class _XenContext:
+    """Run context of one application inside a domU."""
+
+    def __init__(
+        self,
+        hypervisor: Hypervisor,
+        domain,
+        guest_alloc: GuestPageAllocator,
+        patch: PvNumaPatch,
+        sync_fraction: float,
+        churn_slowdown: float,
+        io_seconds_per_op: float,
+        guest_fault_cost_seconds: float = 0.5e-6,
+    ):
+        self.hypervisor = hypervisor
+        self.domain = domain
+        self.guest_alloc = guest_alloc
+        self.patch = patch
+        self.sync_fraction = sync_fraction
+        self.churn_slowdown = churn_slowdown
+        self.io_seconds_per_op = io_seconds_per_op
+        self.guest_fault_cost_seconds = guest_fault_cost_seconds
+        self.tracker = PlacementTracker(
+            node_of_frame=hypervisor.machine.node_of_frame
+        )
+        domain.p2m.observer = self.tracker
+        self.aspace = GuestAddressSpace(
+            backing=lambda vpfn, thread: guest_alloc.alloc(),
+            release=guest_alloc.free,
+        )
+        self._init_faults = 0
+        self._hv_fault_seconds_seen = hypervisor.fault_handler.stats.seconds_spent
+        self._vma_of_segment = {}
+
+    @property
+    def domain_id(self) -> int:
+        return self.domain.domain_id
+
+    @property
+    def policy_is_dynamic(self) -> bool:
+        policy = self.domain.numa_policy
+        return policy is not None and policy.is_dynamic
+
+    @property
+    def policy_label(self) -> str:
+        policy = self.domain.numa_policy
+        return policy.name if policy else "none"
+
+    def attach_segment(self, segment: RuntimeSegment) -> None:
+        vma = self.aspace.mmap(segment.definition.name, segment.num_pages)
+        self._vma_of_segment[id(segment)] = vma
+
+    def touch_page(self, run: AppRun, segment: RuntimeSegment, idx: int, thread: ThreadCtx) -> int:
+        vma = self._vma_of_segment[id(segment)]
+        vpfn = vma.start_vpfn + idx
+        guest_thread = _GuestThreadShim(thread)
+        already = self.aspace.translate(vpfn)
+        gpfn = self.aspace.touch(vpfn, guest_thread)
+        if already is None:
+            self._init_faults += 1
+            segment.keys[idx] = gpfn
+            self.tracker.track(gpfn, segment.placement, idx)
+        # The machine-level access: valid p2m entries translate for free,
+        # invalid ones take the hypervisor fault path into the policy.
+        mfn = self.hypervisor.guest_access(self.domain, thread.tid, gpfn)
+        node = self.hypervisor.machine.node_of_frame(mfn)
+        segment.placement.place(idx, node)
+        return node
+
+    def release_page(self, run: AppRun, segment: RuntimeSegment, idx: int) -> None:
+        vma = self._vma_of_segment[id(segment)]
+        vpfn = vma.start_vpfn + idx
+        gpfn = self.aspace.translate(vpfn)
+        if gpfn is None:
+            return
+        self.tracker.untrack(gpfn)
+        segment.placement.release(idx)
+        segment.keys[idx] = -1
+        self.aspace.unmap_page(vpfn)
+
+    def take_init_seconds(self) -> float:
+        guest = self._init_faults * self.guest_fault_cost_seconds
+        total = self.hypervisor.fault_handler.stats.seconds_spent
+        hv = total - self._hv_fault_seconds_seen
+        self._hv_fault_seconds_seen = total
+        self._init_faults = 0
+        return guest + hv
+
+    def policy_on_epoch(self, run: AppRun, observation) -> float:
+        policy = self.domain.numa_policy
+        if policy is None:
+            return 0.0
+        return policy.on_epoch(self.domain, observation)
+
+    def teardown(self) -> None:
+        self.patch.detach()
+
+
+class XenEnvironment(Environment):
+    """Xen or Xen+ with the paper's NUMA policy interface.
+
+    Args:
+        features: :data:`~repro.hypervisor.xen.XEN` or
+            :data:`~repro.hypervisor.xen.XEN_PLUS`.
+        queue_batch: page-event queue batch size (64 in the paper).
+        queue_partitions: page-event queue partitions (4 in the paper).
+        unbatched_hypercalls: strawman mode — one hypercall per release
+            (section 4.2.3's "divides wrmem by 3").
+    """
+
+    def __init__(
+        self,
+        features: XenFeatures = XEN_PLUS,
+        queue_batch: int = 64,
+        queue_partitions: int = 4,
+        unbatched_hypercalls: bool = False,
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        self.features = features
+        self.queue_batch = 1 if unbatched_hypercalls else queue_batch
+        self.queue_partitions = 1 if unbatched_hypercalls else queue_partitions
+        self.unbatched_hypercalls = unbatched_hypercalls
+
+    @property
+    def label(self) -> str:  # type: ignore[override]
+        return self.features.name.lower()
+
+    def setup(self, vms: Sequence[VmSpec]) -> World:
+        """Build a world with one domU per :class:`VmSpec`."""
+        machine = self._machine_factory()
+        hypervisor = Hypervisor(machine, features=self.features)
+        sync = SyncModel(ipi=hypervisor.ipi)
+        single_vm = len(vms) == 1
+        runs: List[AppRun] = []
+        contexts: List[_XenContext] = []
+        for spec in vms:
+            run, context = self._setup_vm(
+                hypervisor, sync, spec, single_vm
+            )
+            runs.append(run)
+            contexts.append(context)
+        # CPU shares depend on the *final* runqueues: a pCPU hosting two
+        # vCPUs (the consolidated setup) gives each half a CPU, but the
+        # first VM was set up before the second was pinned.
+        for run, context in zip(runs, contexts):
+            for thread in run.threads:
+                vcpu = context.domain.vcpus[thread.tid]
+                thread.cpu_share = hypervisor.scheduler.cpu_share(vcpu)
+
+        def teardown():
+            for c in contexts:
+                c.teardown()
+
+        return World(
+            machine=machine,
+            runs=runs,
+            label=self.label,
+            epoch_seconds=self.config.epoch_seconds,
+            teardown=teardown,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _setup_vm(
+        self,
+        hypervisor: Hypervisor,
+        sync: SyncModel,
+        spec: VmSpec,
+        single_vm: bool,
+    ) -> Tuple[AppRun, _XenContext]:
+        machine = hypervisor.machine
+        app = spec.app
+        num_vcpus = spec.num_vcpus or machine.num_cpus
+        gib_pages = max(1, GIB // self.config.page_bytes)
+        footprint_pages = self.config.pages_for_bytes(app.footprint_bytes)
+        # Segment rounding can exceed the raw footprint (one page per
+        # thread minimum); size the guest generously. The chunked middle
+        # region is at least 8 GiB: a VM is not sized to its application,
+        # and round-1G's behaviour on a small app (its pages packed into
+        # one or two 1 GiB chunks) only shows with a realistic VM size.
+        alloc_slack = num_vcpus + 256
+        middle_pages = max(footprint_pages + alloc_slack, 8 * gib_pages)
+        memory_pages = spec.memory_pages or (middle_pages + 2 * gib_pages)
+
+        boot_base = (
+            PolicyName.ROUND_1G
+            if spec.policy.base is PolicyName.ROUND_1G
+            else PolicyName.ROUND_4K
+        )
+        domain = hypervisor.create_domain(
+            name=app.name,
+            num_vcpus=num_vcpus,
+            memory_pages=memory_pages,
+            home_nodes=spec.home_nodes,
+            boot_policy=PolicySpec(boot_base),
+            pin_pcpus=spec.pin_pcpus,
+        )
+
+        # Guest allocator: the kernel owns the (fragmented) first GiB, so
+        # application memory comes from the round-1G-chunked middle.
+        guest_alloc = GuestPageAllocator(
+            first_gpfn=gib_pages,
+            num_pages=footprint_pages + alloc_slack,
+        )
+        external = ExternalInterface(hypervisor.hypercalls, domain.domain_id)
+        patch = PvNumaPatch(
+            guest_alloc,
+            external,
+            batch_size=self.queue_batch,
+            num_partitions=self.queue_partitions,
+        )
+
+        # Runtime policy selection through the real hypercall.
+        if spec.policy.base is PolicyName.FIRST_TOUCH:
+            patch.select_policy(
+                PolicyName.FIRST_TOUCH.value, carrefour=spec.policy.carrefour
+            )
+            patch.report_free_pages()
+        elif spec.policy.carrefour:
+            patch.select_policy(boot_base.value, carrefour=True)
+
+        threads = []
+        for tid in range(num_vcpus):
+            threads.append(
+                ThreadCtx(
+                    tid=tid,
+                    node=hypervisor.vcpu_node(domain, tid),
+                    cpu_share=hypervisor.scheduler.cpu_share(domain.vcpus[tid]),
+                )
+            )
+
+        op_model = calibrate_app(app, machine, num_vcpus)
+        mcs = (
+            self.features.mcs_locks and single_vm and app.name in MCS_APPS
+        )
+        sync_fraction = sync.overhead_fraction(
+            app.ctx_switches_k_s * 1e3, "guest", mcs_locks=mcs
+        )
+        churn = self._churn_slowdown(app, num_vcpus, domain, external)
+        io_per_op = self._io_seconds_per_op(
+            hypervisor, domain, app, op_model, num_vcpus
+        )
+
+        context = _XenContext(
+            hypervisor=hypervisor,
+            domain=domain,
+            guest_alloc=guest_alloc,
+            patch=patch,
+            sync_fraction=sync_fraction,
+            churn_slowdown=churn,
+            io_seconds_per_op=io_per_op,
+        )
+        context.tlb_seconds_per_op = self._tlb_seconds_per_op(
+            machine, app, domain, num_vcpus
+        )
+        segments = [
+            RuntimeSegment(d, machine.num_nodes)
+            for d in build_segments(app, num_vcpus, self.config)
+        ]
+        for segment in segments:
+            context.attach_segment(segment)
+        rng = np.random.default_rng(
+            self.config.rng_seed + hash((app.name, domain.domain_id)) % 10000
+        )
+        run = AppRun(
+            app, op_model, segments, threads, context, self.config, rng
+        )
+        return run, context
+
+    def _churn_slowdown(self, app, num_vcpus, domain, external) -> float:
+        """Completion-time factor of the page-release traffic."""
+        rate = app.churn_per_thread_s
+        if rate <= 0:
+            return 1.0
+        if self.unbatched_hypercalls:
+            service = external.hypercalls.costs.base_seconds
+            factor = lock_service_slowdown(rate, num_vcpus, service, 1)
+        else:
+            per_event = (
+                external.flush_cost(self.queue_batch) / self.queue_batch
+            )
+            factor = lock_service_slowdown(
+                rate, num_vcpus, per_event, self.queue_partitions
+            )
+        policy = domain.numa_policy
+        if policy is not None and policy.wants_page_events:
+            # Under first-touch every reallocated page faults back in.
+            fault_busy = min(
+                0.9,
+                rate * 2.0e-6,
+            )
+            factor *= 1.0 / (1.0 - fault_busy)
+        return factor
+
+    def _tlb_seconds_per_op(self, machine, app, domain, num_vcpus) -> float:
+        """Nested-TLB overhead per operation (section 7 extension).
+
+        Only charged when ``config.model_tlb`` is on: the baseline
+        reproduction matches the paper, which has no TLB dimension. The
+        fine-grained policies force 4 KiB nested mappings; round-1G's
+        eager 1 GiB regions allow superpages and nearly never miss.
+        """
+        if not self.config.model_tlb:
+            return 0.0
+        from repro.hardware.tlb import TlbModel, policy_granularity
+
+        tlb = TlbModel()
+        policy = domain.numa_policy
+        name = policy.name if policy is not None else "round-4k"
+        granularity = policy_granularity(name)
+        working_set = app.footprint_bytes / max(1, num_vcpus)
+        # Page-table pages of spread placements live mostly remote.
+        remote_fraction = 0.2 if name.startswith("first-touch") else 0.875
+        cycles = tlb.overhead_cycles_per_access(
+            working_set, granularity, remote_fraction
+        )
+        return machine.latency.cycles_to_seconds(cycles)
+
+    def _io_seconds_per_op(
+        self, hypervisor, domain, app, op_model, num_vcpus
+    ) -> float:
+        if op_model.io_bytes_per_op <= 0:
+            return 0.0
+        mode_name = hypervisor.io_mode(domain)
+        mode = IoMode(mode_name)
+        eff_bw = self.disk.effective_bandwidth_bytes_s(
+            app.io_block_kib * 1024, mode
+        )
+        if mode is IoMode.PASSTHROUGH:
+            # Xen+ DMA buffers are spread over the nodes by the hypervisor
+            # page table, giving slightly more parallel transfers than the
+            # single-node DMA buffers of native Linux (section 5.3.3).
+            eff_bw *= 1.05
+        return op_model.io_bytes_per_op * num_vcpus / eff_bw

@@ -1,0 +1,153 @@
+"""Page -> node placement views kept in sync with the real page tables.
+
+The engine never recomputes placements by walking page tables; instead a
+:class:`SegmentPlacement` array per workload segment is updated
+incrementally by a :class:`PlacementTracker`, which is installed as the
+p2m observer (Xen mode) or wired to the Linux NUMA mode's hooks (native
+mode). The p2m / Linux page table stays authoritative — unit tests check
+the views never drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+class SegmentPlacement:
+    """Node placement of one segment's pages.
+
+    Attributes:
+        nodes: per-page node id (-1 = currently unmapped).
+        counts: pages per node, maintained incrementally.
+    """
+
+    def __init__(self, num_pages: int, num_nodes: int):
+        if num_pages < 1:
+            raise ReproError("segment needs at least one page")
+        self.num_pages = num_pages
+        self.num_nodes = num_nodes
+        self.nodes = np.full(num_pages, -1, dtype=np.int32)
+        self.counts = np.zeros(num_nodes, dtype=np.int64)
+
+    def place(self, idx: int, node: int) -> None:
+        """Record that page ``idx`` now lives on ``node``."""
+        old = self.nodes[idx]
+        if old >= 0:
+            self.counts[old] -= 1
+        self.nodes[idx] = node
+        self.counts[node] += 1
+
+    def release(self, idx: int) -> None:
+        """Record that page ``idx`` lost its backing frame."""
+        old = self.nodes[idx]
+        if old >= 0:
+            self.counts[old] -= 1
+            self.nodes[idx] = -1
+
+    @property
+    def mapped_pages(self) -> int:
+        return int(self.counts.sum())
+
+    def node_of(self, idx: int) -> Optional[int]:
+        node = int(self.nodes[idx])
+        return node if node >= 0 else None
+
+    def distribution(self, hot_weight: float = 0.0) -> np.ndarray:
+        """Access probability per destination node for this segment.
+
+        Page 0 is the segment's hot page carrying ``hot_weight`` of the
+        accesses; the rest are uniform over mapped pages.
+        """
+        mapped = self.mapped_pages
+        dist = np.zeros(self.num_nodes, dtype=np.float64)
+        if mapped == 0:
+            return dist
+        uniform = self.counts.astype(np.float64) / mapped
+        if hot_weight <= 0.0:
+            return uniform
+        hot_node = self.nodes[0]
+        cold = uniform * (1.0 - hot_weight)
+        if hot_node >= 0:
+            cold[hot_node] += hot_weight
+        else:
+            # Hot page unmapped (it will fault on first access): spread
+            # its weight like the cold pages until it lands somewhere.
+            cold = uniform
+        return cold
+
+    def verify_against(self, node_lookup) -> bool:
+        """Debug helper: check the view matches an authoritative lookup.
+
+        Args:
+            node_lookup: callable(idx) -> node or None.
+        """
+        for idx in range(self.num_pages):
+            expected = node_lookup(idx)
+            actual = self.node_of(idx)
+            if expected != actual:
+                return False
+        return True
+
+
+@dataclass
+class PlacementTracker:
+    """Routes page-table change notifications into segment placements.
+
+    Registered as a :class:`~repro.hypervisor.p2m.P2MTable` observer in
+    Xen mode (keys are gpfns) or fed by the Linux NUMA mode hooks in
+    native mode (keys are vpfns).
+
+    Args:
+        node_of_frame: maps a machine frame to its NUMA node.
+    """
+
+    node_of_frame: object  # Callable[[int], int]
+    _pages: Dict[int, Tuple[SegmentPlacement, int]] = field(default_factory=dict)
+
+    def track(self, key: int, placement: SegmentPlacement, idx: int) -> None:
+        """Start tracking page ``key`` as ``placement[idx]``."""
+        self._pages[key] = (placement, idx)
+
+    def untrack(self, key: int) -> None:
+        """Stop tracking ``key`` (the segment was torn down)."""
+        self._pages.pop(key, None)
+
+    def tracked(self, key: int) -> Optional[Tuple[SegmentPlacement, int]]:
+        return self._pages.get(key)
+
+    # ------------------------------------------------------------------
+    # P2M observer protocol
+
+    def entry_set(self, gpfn: int, mfn: int) -> None:
+        """A page gained (or changed) its backing frame."""
+        hit = self._pages.get(gpfn)
+        if hit is None:
+            return
+        placement, idx = hit
+        placement.place(idx, self.node_of_frame(mfn))
+
+    def entry_invalidated(self, gpfn: int) -> None:
+        """A page lost its backing frame."""
+        hit = self._pages.get(gpfn)
+        if hit is None:
+            return
+        placement, idx = hit
+        placement.release(idx)
+
+    # ------------------------------------------------------------------
+    # Linux-mode hooks (node known directly, no frame lookup)
+
+    def page_placed(self, key: int, node: int) -> None:
+        hit = self._pages.get(key)
+        if hit is None:
+            return
+        placement, idx = hit
+        placement.place(idx, node)
+
+    def page_released(self, key: int) -> None:
+        self.entry_invalidated(key)

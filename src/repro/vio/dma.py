@@ -1,0 +1,65 @@
+"""DMA transfers into guest memory, through the IOMMU.
+
+With PCI passthrough the *device* translates guest-physical addresses via
+the IOMMU, i.e. through the hypervisor page table. Section 4.4.1: if the
+target entry is invalid — which is precisely the state first-touch keeps
+released pages in — the transfer aborts and the error is reported to the
+hypervisor asynchronously, *after* the guest has already seen the failed
+I/O. This module reproduces that failure mode end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.hardware.iommu import Iommu
+from repro.hypervisor.domain import Domain
+
+
+@dataclass
+class DmaTransfer:
+    """Outcome of one DMA into guest memory.
+
+    Attributes:
+        requested_pages: pages the device was asked to write.
+        completed_pages: pages actually transferred.
+        failed_gpfns: pages whose translation aborted (guest sees EIO).
+    """
+
+    requested_pages: int
+    completed_pages: int
+    failed_gpfns: List[int] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed_gpfns
+
+
+class DmaEngine:
+    """Device-side DMA executor."""
+
+    def __init__(self, iommu: Iommu):
+        self.iommu = iommu
+        self.transfers = 0
+        self.failed_transfers = 0
+
+    def dma_to_guest(self, domain: Domain, gpfns: Sequence[int]) -> DmaTransfer:
+        """Write device data into the guest pages ``gpfns``.
+
+        Each page is translated through the IOMMU; an invalid hypervisor
+        page table entry aborts that page's transfer. The error only lands
+        in the IOMMU's asynchronous log (``iommu.drain_error_log``) — by
+        design the hypervisor cannot fix it up in time.
+        """
+        self.transfers += 1
+        result = DmaTransfer(requested_pages=len(gpfns), completed_pages=0)
+        for gpfn in gpfns:
+            outcome = self.iommu.translate(domain.p2m, gpfn)
+            if outcome.ok:
+                result.completed_pages += 1
+            else:
+                result.failed_gpfns.append(gpfn)
+        if not result.ok:
+            self.failed_transfers += 1
+        return result

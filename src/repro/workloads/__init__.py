@@ -1,0 +1,23 @@
+"""Models of the paper's 29 applications (Parsec, NPB, Mosbench, X-Stream, YCSB)."""
+
+from repro.workloads.patterns import (
+    SegmentSpec,
+    master_share_for_imbalance,
+    imbalance_for_master_share,
+    hot_weight_for_ratio,
+)
+from repro.workloads.app import AppSpec, SegmentDef, build_segments
+from repro.workloads.suite import APPLICATIONS, APP_NAMES, get_app
+
+__all__ = [
+    "SegmentSpec",
+    "master_share_for_imbalance",
+    "imbalance_for_master_share",
+    "hot_weight_for_ratio",
+    "AppSpec",
+    "SegmentDef",
+    "build_segments",
+    "APPLICATIONS",
+    "APP_NAMES",
+    "get_app",
+]

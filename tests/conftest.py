@@ -1,0 +1,53 @@
+"""Shared fixtures: machines, hypervisors and fast app variants."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import SimConfig
+from repro.hardware.presets import amd48, small_machine
+from repro.hypervisor.xen import Hypervisor, XEN, XEN_PLUS
+
+
+@pytest.fixture
+def fine_config():
+    """Page scale 1 (true 4 KiB pages) for unit-level mechanics."""
+    return SimConfig(page_scale=1)
+
+
+@pytest.fixture
+def machine():
+    """A tiny 2-node machine for unit tests."""
+    return small_machine()
+
+
+@pytest.fixture
+def machine4():
+    """A 4-node machine for policy tests."""
+    return small_machine(num_nodes=4, cpus_per_node=2, frames_per_node=4096)
+
+
+@pytest.fixture
+def amd48_machine():
+    """The paper's AMD48 machine."""
+    return amd48()
+
+
+@pytest.fixture
+def hypervisor(machine4):
+    """A booted hypervisor (stock Xen features) on the 4-node machine."""
+    return Hypervisor(machine4, features=XEN)
+
+
+@pytest.fixture
+def hypervisor_plus(machine4):
+    """A booted hypervisor with the Xen+ feature set."""
+    return Hypervisor(machine4, features=XEN_PLUS)
+
+
+def fast_app(app, baseline_seconds=8.0, footprint_mb=None):
+    """A faster copy of an AppSpec for integration tests."""
+    changes = {"baseline_seconds": baseline_seconds}
+    if footprint_mb is not None:
+        changes["footprint_mb"] = footprint_mb
+    return dataclasses.replace(app, **changes)

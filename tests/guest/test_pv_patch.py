@@ -1,0 +1,91 @@
+"""The paravirtual patch: page events flow from allocator to hypervisor."""
+
+import pytest
+
+from repro.core.interface import ExternalInterface
+from repro.core.page_queue import PageOp
+from repro.guest.page_alloc import GuestPageAllocator
+from repro.guest.pv_patch import PvNumaPatch
+from repro.hypervisor.hypercalls import Hypercall, HypercallTable
+
+
+@pytest.fixture
+def setup():
+    table = HypercallTable()
+    flushed = []
+    table.register(
+        Hypercall.NUMA_PAGE_EVENTS,
+        lambda dom, vcpu, events: flushed.append(list(events)),
+    )
+    table.register(
+        Hypercall.NUMA_SET_POLICY, lambda dom, vcpu, args: args["policy"]
+    )
+    allocator = GuestPageAllocator(first_gpfn=0, num_pages=512)
+    external = ExternalInterface(table, domain_id=1)
+    patch = PvNumaPatch(allocator, external, batch_size=4, num_partitions=4)
+    return allocator, patch, flushed, table
+
+
+class TestEventFlow:
+    def test_alloc_and_release_recorded(self, setup):
+        allocator, patch, flushed, _ = setup
+        g = allocator.alloc()
+        allocator.free(g)
+        assert patch.queue.stats.events == 2
+
+    def test_flush_on_full_partition(self, setup):
+        allocator, patch, flushed, _ = setup
+        # Pages 0,4,8,12 share partition 0 (two LSBs); 4 allocs fill it.
+        for _ in range(16):
+            allocator.alloc()
+        assert flushed, "a partition should have flushed"
+        batch = flushed[0]
+        assert len(batch) == 4
+        assert all(e.op is PageOp.ALLOC for e in batch)
+
+    def test_flush_goes_through_hypercall_table(self, setup):
+        allocator, patch, flushed, table = setup
+        for _ in range(16):
+            allocator.alloc()
+        count, seconds = table.stats[Hypercall.NUMA_PAGE_EVENTS]
+        assert count == len(flushed) > 0
+        assert seconds > 0
+
+    def test_manual_flush_drains_everything(self, setup):
+        allocator, patch, flushed, _ = setup
+        allocator.alloc()
+        patch.flush()
+        assert patch.queue.pending() == 0
+        assert sum(len(b) for b in flushed) == 1
+
+    def test_disabled_patch_records_nothing(self, setup):
+        allocator, patch, flushed, _ = setup
+        patch.enabled = False
+        allocator.free(allocator.alloc())
+        assert patch.queue.stats.events == 0
+
+    def test_detach_removes_hooks(self, setup):
+        allocator, patch, flushed, _ = setup
+        patch.detach()
+        allocator.alloc()
+        assert patch.queue.stats.events == 0
+
+
+class TestReportFreePages:
+    def test_reports_whole_free_list(self, setup):
+        allocator, patch, flushed, _ = setup
+        kept = allocator.alloc()
+        reported = patch.report_free_pages()
+        assert reported == 511
+        events = [e for batch in flushed for e in batch]
+        gpfns = {e.gpfn for e in events if e.op is PageOp.RELEASE}
+        assert kept not in gpfns
+        assert len(gpfns) == 511
+
+
+class TestSelectPolicy:
+    def test_select_policy_dispatches(self, setup):
+        allocator, patch, flushed, table = setup
+        assert patch.select_policy("first-touch", carrefour=False) == "first-touch"
+        count, _ = table.stats[Hypercall.NUMA_SET_POLICY]
+        assert count == 1

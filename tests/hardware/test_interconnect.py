@@ -1,0 +1,73 @@
+"""Interconnect byte accounting and utilisation."""
+
+import pytest
+
+from repro.hardware.interconnect import Interconnect
+from repro.hardware.presets import amd48_topology
+
+
+@pytest.fixture
+def interconnect():
+    return Interconnect(amd48_topology())
+
+
+class TestRecording:
+    def test_local_access_touches_no_link(self, interconnect):
+        interconnect.record_access(3, 3, 4096)
+        assert interconnect.max_utilization(1.0) == 0.0
+
+    def test_remote_access_loads_route(self, interconnect):
+        topo = interconnect.topology
+        interconnect.record_access(0, 7, 1 << 20)
+        route = topo.route(0, 7)
+        for link in route:
+            assert interconnect.bytes_on(link) == 1 << 20
+
+    def test_two_hop_loads_both_links(self, interconnect):
+        topo = interconnect.topology
+        src, dst = next(
+            (s, d)
+            for s in range(8)
+            for d in range(8)
+            if topo.hops(s, d) == 2
+        )
+        interconnect.record_access(src, dst, 1000)
+        assert sum(
+            1 for l in topo.links if interconnect.bytes_on(l) == 1000
+        ) == 2
+
+    def test_zero_bytes_noop(self, interconnect):
+        interconnect.record_access(0, 1, 0)
+        assert interconnect.max_utilization(1.0) == 0.0
+
+
+class TestUtilisation:
+    def test_utilization_formula(self, interconnect):
+        topo = interconnect.topology
+        link = topo.route(0, 1)[0]
+        capacity = int(link.bandwidth_gib_s * (1 << 30))
+        interconnect.record_access(0, 1, capacity)
+        assert interconnect.utilization(link, 1.0) == pytest.approx(1.0)
+        assert interconnect.utilization(link, 2.0) == pytest.approx(0.5)
+
+    def test_max_utilization_picks_hottest(self, interconnect):
+        interconnect.record_access(0, 1, 1 << 30)
+        interconnect.record_access(2, 3, 1 << 20)
+        link01 = interconnect.topology.route(0, 1)[0]
+        assert interconnect.max_utilization(1.0) == pytest.approx(
+            interconnect.utilization(link01, 1.0)
+        )
+
+    def test_route_utilization_local_zero(self, interconnect):
+        assert interconnect.route_utilization(4, 4, 1.0) == 0.0
+
+    def test_zero_seconds(self, interconnect):
+        interconnect.record_access(0, 1, 100)
+        assert interconnect.max_utilization(0.0) == 0.0
+
+
+class TestReset:
+    def test_reset_clears_counts(self, interconnect):
+        interconnect.record_access(0, 1, 1 << 30)
+        interconnect.reset()
+        assert interconnect.max_utilization(1.0) == 0.0

@@ -1,0 +1,84 @@
+"""TLB model (the large-page extension of section 7)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.hardware.tlb import (
+    GRANULARITY_1G,
+    GRANULARITY_2M,
+    GRANULARITY_4K,
+    TlbModel,
+    policy_granularity,
+)
+
+
+@pytest.fixture
+def tlb():
+    return TlbModel()
+
+
+class TestReach:
+    def test_level_selection(self, tlb):
+        assert tlb.level_for(GRANULARITY_4K).page_bytes == GRANULARITY_4K
+        assert tlb.level_for(GRANULARITY_2M).page_bytes == GRANULARITY_2M
+        assert tlb.level_for(GRANULARITY_1G).page_bytes == GRANULARITY_1G
+
+    def test_intermediate_granularity_rounds_down(self, tlb):
+        assert tlb.level_for(64 * 1024).page_bytes == GRANULARITY_4K
+
+    def test_too_small_granularity_rejected(self, tlb):
+        with pytest.raises(ReproError):
+            tlb.level_for(512)
+
+
+class TestMissRatio:
+    def test_fitting_working_set_never_misses(self, tlb):
+        reach = tlb.level_for(GRANULARITY_4K).reach_bytes
+        assert tlb.miss_ratio(reach, GRANULARITY_4K) == 0.0
+
+    def test_large_ws_misses_at_4k(self, tlb):
+        assert tlb.miss_ratio(1 << 33, GRANULARITY_4K) > 0.5
+
+    def test_1g_mappings_cover_everything(self, tlb):
+        """Round-1G's superpages: 16 x 1 GiB reach — no misses at 8 GiB."""
+        assert tlb.miss_ratio(8 << 30, GRANULARITY_1G) == 0.0
+
+    def test_monotone_in_working_set(self, tlb):
+        ratios = [
+            tlb.miss_ratio(ws, GRANULARITY_4K)
+            for ws in (1 << 22, 1 << 26, 1 << 30, 1 << 34)
+        ]
+        assert ratios == sorted(ratios)
+
+    def test_monotone_in_granularity(self, tlb):
+        ws = 4 << 30
+        assert (
+            tlb.miss_ratio(ws, GRANULARITY_1G)
+            <= tlb.miss_ratio(ws, GRANULARITY_2M)
+            <= tlb.miss_ratio(ws, GRANULARITY_4K)
+        )
+
+
+class TestMissCost:
+    def test_remote_walks_cost_more(self, tlb):
+        assert tlb.miss_cycles(1.0) > tlb.miss_cycles(0.0)
+
+    def test_overhead_combines_ratio_and_cost(self, tlb):
+        overhead = tlb.overhead_cycles_per_access(1 << 33, GRANULARITY_4K, 0.5)
+        expected = tlb.miss_ratio(1 << 33, GRANULARITY_4K) * tlb.miss_cycles(0.5)
+        assert overhead == pytest.approx(expected)
+
+    def test_zero_working_set(self, tlb):
+        assert tlb.overhead_cycles_per_access(0, GRANULARITY_4K) == 0.0
+
+
+class TestPolicyGranularity:
+    def test_round_1g_gets_superpages(self):
+        assert policy_granularity("round-1g") == GRANULARITY_1G
+
+    def test_fine_policies_get_4k(self):
+        for name in ("round-4k", "first-touch", "first-touch/carrefour"):
+            assert policy_granularity(name) == GRANULARITY_4K
+
+    def test_unknown_policy_defaults_to_4k(self):
+        assert policy_granularity("mystery") == GRANULARITY_4K

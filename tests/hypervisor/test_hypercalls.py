@@ -1,0 +1,66 @@
+"""Hypercall table: dispatch, stats and the cost model."""
+
+import pytest
+
+from repro.errors import HypercallError
+from repro.hypervisor.hypercalls import (
+    Hypercall,
+    HypercallCostModel,
+    HypercallTable,
+)
+
+
+@pytest.fixture
+def table():
+    return HypercallTable()
+
+
+class TestDispatch:
+    def test_empty_hypercall_builtin(self, table):
+        assert table.dispatch(Hypercall.EMPTY, 1, 0) is None
+
+    def test_register_and_dispatch(self, table):
+        table.register(Hypercall.NUMA_SET_POLICY, lambda d, v, a: (d, v, a))
+        assert table.dispatch(Hypercall.NUMA_SET_POLICY, 2, 3, "x") == (2, 3, "x")
+
+    def test_unregistered_rejected(self, table):
+        with pytest.raises(HypercallError):
+            table.dispatch(Hypercall.NUMA_PAGE_EVENTS, 1, 0)
+
+    def test_duplicate_registration_rejected(self, table):
+        table.register(Hypercall.NUMA_SET_POLICY, lambda d, v, a: None)
+        with pytest.raises(HypercallError):
+            table.register(Hypercall.NUMA_SET_POLICY, lambda d, v, a: None)
+
+    def test_stats_accumulate(self, table):
+        table.dispatch(Hypercall.EMPTY, 1, 0)
+        table.dispatch(Hypercall.EMPTY, 1, 0)
+        count, seconds = table.stats[Hypercall.EMPTY]
+        assert count == 2
+        assert seconds == pytest.approx(2 * table.costs.base_seconds)
+
+    def test_reset_stats(self, table):
+        table.dispatch(Hypercall.EMPTY, 1, 0)
+        table.reset_stats()
+        assert table.stats[Hypercall.EMPTY] == (0, 0.0)
+
+
+class TestCostModel:
+    def test_flush_cost_grows_with_events(self):
+        costs = HypercallCostModel()
+        assert costs.flush_cost(64) > costs.flush_cost(1) > costs.base_seconds
+
+    def test_invalidation_share_at_batch_64(self):
+        """Section 4.2.4: 87.5% of the flush is spent invalidating."""
+        costs = HypercallCostModel()
+        assert costs.invalidation_share(64) == pytest.approx(0.875, abs=0.01)
+
+    def test_page_events_cost_counts_payload(self, table):
+        table.register(Hypercall.NUMA_PAGE_EVENTS, lambda d, v, a: None)
+        table.dispatch(Hypercall.NUMA_PAGE_EVENTS, 1, 0, list(range(64)))
+        _, seconds = table.stats[Hypercall.NUMA_PAGE_EVENTS]
+        assert seconds == pytest.approx(table.costs.flush_cost(64))
+
+    def test_cost_of_call_predicts_dispatch(self, table):
+        predicted = table.cost_of_call(Hypercall.NUMA_PAGE_EVENTS, [1, 2, 3])
+        assert predicted == pytest.approx(table.costs.flush_cost(3))

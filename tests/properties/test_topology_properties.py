@@ -1,0 +1,63 @@
+"""Property-based tests of routing on random connected topologies."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hardware.topology import Link, NumaTopology
+
+
+@st.composite
+def connected_topologies(draw):
+    n = draw(st.integers(min_value=2, max_value=8))
+    # Spanning chain guarantees connectivity; extra random links on top.
+    links = {(i, i + 1) for i in range(n - 1)}
+    extra = draw(
+        st.sets(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=10,
+        )
+    )
+    for a, b in extra:
+        if a != b:
+            links.add((min(a, b), max(a, b)))
+    return NumaTopology(
+        num_nodes=n,
+        cpus_per_node=draw(st.integers(min_value=1, max_value=4)),
+        links=[Link(a, b, 4.0) for a, b in sorted(links)],
+        memory_controller_gib_s=13.0,
+        node_memory_gib=16.0,
+    )
+
+
+class TestRoutingProperties:
+    @given(connected_topologies())
+    def test_hops_symmetric_and_triangle(self, topo):
+        n = topo.num_nodes
+        for s in range(n):
+            assert topo.hops(s, s) == 0
+            for d in range(n):
+                assert topo.hops(s, d) == topo.hops(d, s)
+                for m in range(n):
+                    assert topo.hops(s, d) <= topo.hops(s, m) + topo.hops(m, d)
+
+    @given(connected_topologies())
+    def test_routes_walk_the_graph(self, topo):
+        for s in range(topo.num_nodes):
+            for d in range(topo.num_nodes):
+                cur = s
+                for link in topo.route(s, d):
+                    assert cur in (link.a, link.b)
+                    cur = link.other(cur)
+                assert cur == d
+
+    @given(connected_topologies())
+    def test_every_cpu_has_one_node(self, topo):
+        seen = {}
+        for cpu in range(topo.num_cpus):
+            node = topo.node_of_cpu(cpu)
+            seen.setdefault(node, []).append(cpu)
+            assert cpu in topo.cpus_of_node(node)
+        assert sum(len(v) for v in seen.values()) == topo.num_cpus

@@ -1,0 +1,66 @@
+"""Application calibration from the Table 1 interconnect loads."""
+
+import pytest
+
+from repro.sim.calibration import calibrate_app, uncontended_mem_seconds
+from repro.workloads.suite import APPLICATIONS, get_app
+
+import numpy as np
+
+
+class TestCalibration:
+    def test_memory_bound_app_has_zero_cpu(self, amd48_machine):
+        """cg.C's 46% round-4K link load implies full memory boundness."""
+        model = calibrate_app(get_app("cg.C"), amd48_machine)
+        assert model.cpu_seconds == 0.0
+
+    def test_light_app_has_compute(self, amd48_machine):
+        model = calibrate_app(get_app("swaptions"), amd48_machine)
+        assert model.cpu_seconds > 1e-7
+
+    def test_rate_monotone_in_interconnect_load(self, amd48_machine):
+        rates = {
+            name: calibrate_app(get_app(name), amd48_machine).access_rate_48t
+            for name in ("swaptions", "bodytrack", "cg.C")
+        }
+        assert rates["swaptions"] < rates["bodytrack"] < rates["cg.C"]
+
+    def test_ops_target_positive_for_all_apps(self, amd48_machine):
+        for app in APPLICATIONS:
+            model = calibrate_app(app, amd48_machine)
+            assert model.ops_per_thread > 0
+            assert model.access_rate_48t > 0
+
+    def test_io_bytes_per_op(self, amd48_machine):
+        dc = get_app("dc.B")
+        model = calibrate_app(dc, amd48_machine)
+        total_ops = model.ops_per_thread * 48
+        total_bytes = model.io_bytes_per_op * total_ops
+        assert total_bytes == pytest.approx(
+            dc.disk_mb_s * 1e6 * dc.baseline_seconds
+        )
+
+    def test_no_disk_no_io(self, amd48_machine):
+        model = calibrate_app(get_app("cg.C"), amd48_machine)
+        assert model.io_bytes_per_op == 0.0
+
+    def test_min_rate_floor(self, amd48_machine):
+        model = calibrate_app(get_app("swaptions"), amd48_machine, min_rate=1e9)
+        assert model.access_rate_48t == 1e9
+
+
+class TestUncontendedMemSeconds:
+    def test_local_only(self, amd48_machine):
+        dist = np.zeros(8)
+        dist[0] = 1.0
+        seconds = uncontended_mem_seconds(amd48_machine, dist, src=0)
+        expected = 156.0 / 2.2e9
+        assert seconds == pytest.approx(expected)
+
+    def test_uniform_exceeds_local(self, amd48_machine):
+        uniform = np.full(8, 1 / 8)
+        local = np.zeros(8)
+        local[0] = 1.0
+        assert uncontended_mem_seconds(
+            amd48_machine, uniform
+        ) > uncontended_mem_seconds(amd48_machine, local)

@@ -1,0 +1,63 @@
+"""Run result arithmetic: the paper's overhead/improvement definitions."""
+
+import pytest
+
+from repro.sim.results import (
+    EpochRecord,
+    RunResult,
+    relative_improvement,
+    relative_overhead,
+)
+
+
+def result(seconds, records=()):
+    return RunResult(
+        app="x", environment="linux", policy="first-touch",
+        completion_seconds=seconds, epochs=len(records), records=list(records),
+    )
+
+
+class TestRatios:
+    def test_overhead(self):
+        assert relative_overhead(result(150.0), result(100.0)) == pytest.approx(0.5)
+
+    def test_improvement(self):
+        assert relative_improvement(result(50.0), result(100.0)) == pytest.approx(1.0)
+
+    def test_equal_runs(self):
+        assert relative_overhead(result(100.0), result(100.0)) == 0.0
+        assert relative_improvement(result(100.0), result(100.0)) == 0.0
+
+    def test_inverse_relationship(self):
+        a, b = result(80.0), result(100.0)
+        overhead = relative_overhead(a, b)
+        improvement = relative_improvement(a, b)
+        assert (1 + overhead) * (1 + improvement) == pytest.approx(1.0 / 1.0, rel=0.3)
+
+
+class TestAverages:
+    def test_mean_metrics(self):
+        records = [
+            EpochRecord(0, 10.0, imbalance=1.0, max_link_rho=0.2, local_fraction=0.8),
+            EpochRecord(1, 10.0, imbalance=3.0, max_link_rho=0.4, local_fraction=0.6),
+        ]
+        r = result(10.0, records)
+        assert r.mean_imbalance == pytest.approx(2.0)
+        assert r.mean_max_link_rho == pytest.approx(0.3)
+        assert r.mean_local_fraction == pytest.approx(0.7)
+
+    def test_empty_records(self):
+        r = result(10.0)
+        assert r.mean_imbalance == 0.0
+        assert r.mean_local_fraction == 1.0
+
+    def test_migrations_total(self):
+        records = [
+            EpochRecord(0, 1.0, 0, 0, 1.0, migrations=5),
+            EpochRecord(1, 1.0, 0, 0, 1.0, migrations=7),
+        ]
+        assert result(1.0, records).total_migrations == 12
+
+    def test_summary_contains_key_facts(self):
+        text = result(12.5).summary()
+        assert "x" in text and "12.50" in text

@@ -1,0 +1,35 @@
+"""Global configuration arithmetic."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG, REAL_PAGE_SIZE, SimConfig
+
+
+class TestSimConfig:
+    def test_page_bytes(self):
+        assert SimConfig(page_scale=1).page_bytes == 4096
+        assert SimConfig(page_scale=256).page_bytes == 1 << 20
+
+    def test_pages_for_bytes_rounds(self):
+        config = SimConfig(page_scale=256)
+        assert config.pages_for_bytes(1 << 20) == 1
+        assert config.pages_for_bytes(3.4 * (1 << 20)) == 3
+
+    def test_pages_for_bytes_minimum_one(self):
+        assert SimConfig(page_scale=256).pages_for_bytes(100) == 1
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_CONFIG.page_scale = 1  # type: ignore[misc]
+
+    def test_hashable_for_memoisation(self):
+        assert hash(SimConfig()) == hash(SimConfig())
+        assert SimConfig() == SimConfig()
+        assert SimConfig(page_scale=64) != SimConfig()
+
+    def test_defaults(self):
+        assert DEFAULT_CONFIG.page_scale == 256
+        assert DEFAULT_CONFIG.epoch_seconds == 1.0
+        assert DEFAULT_CONFIG.traffic_burstiness == 2.0
+        assert DEFAULT_CONFIG.model_tlb is False
+        assert REAL_PAGE_SIZE == 4096

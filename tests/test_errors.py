@@ -1,0 +1,35 @@
+"""Exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in (
+            "TopologyError",
+            "OutOfMemoryError",
+            "P2MError",
+            "HypercallError",
+            "GuestFaultError",
+            "IommuFault",
+            "PolicyError",
+            "SchedulerError",
+            "WorkloadError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_iommu_fault_carries_gpfn(self):
+        fault = errors.IommuFault(0x42)
+        assert fault.gpfn == 0x42
+        assert "0x42" in str(fault)
+
+    def test_iommu_fault_custom_message(self):
+        fault = errors.IommuFault(1, "custom")
+        assert str(fault) == "custom"
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.P2MError("x")

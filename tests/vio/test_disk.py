@@ -1,0 +1,84 @@
+"""Disk timing model, calibrated to section 2.2."""
+
+import pytest
+
+from repro.vio.disk import DiskModel, IoMode, MEASURED_4K_SECONDS
+
+
+@pytest.fixture
+def disk():
+    return DiskModel()
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("mode", list(IoMode))
+    def test_4k_read_matches_paper(self, disk, mode):
+        assert disk.block_read_seconds(4096, mode) == pytest.approx(
+            MEASURED_4K_SECONDS[mode]
+        )
+
+    def test_ordering(self, disk):
+        n = disk.block_read_seconds(4096, IoMode.NATIVE)
+        pt = disk.block_read_seconds(4096, IoMode.PASSTHROUGH)
+        pv = disk.block_read_seconds(4096, IoMode.PARAVIRT)
+        assert n < pt < pv
+
+
+class TestAmortisation:
+    def test_overhead_shrinks_with_block_size(self, disk):
+        """Section 2.2: 'the larger the amount of bytes read, the lower
+        the overhead caused by virtualization'."""
+        overheads = []
+        for size in (4096, 16 * 1024, 1 << 20, 8 << 20):
+            native = disk.read_seconds(size, size, IoMode.NATIVE)
+            virt = disk.read_seconds(size, size, IoMode.PASSTHROUGH)
+            overheads.append(virt / native - 1.0)
+        assert overheads == sorted(overheads, reverse=True)
+
+    def test_effective_bandwidth_grows_with_block(self, disk):
+        small = disk.effective_bandwidth_bytes_s(4096, IoMode.NATIVE)
+        big = disk.effective_bandwidth_bytes_s(1 << 20, IoMode.NATIVE)
+        assert big > 5 * small
+
+
+class TestRingSplitting:
+    def test_paravirt_large_blocks_pay_per_segment(self, disk):
+        """Blkfront ring segments: extra segments cost pipelined slots."""
+        size = 4 * disk.pv_ring_bytes
+        expected = (
+            disk.setup_seconds[IoMode.PARAVIRT]
+            + 3 * disk.pv_pipeline_seconds
+            + size / disk.bandwidth_bytes_s
+        )
+        assert disk.block_read_seconds(size, IoMode.PARAVIRT) == pytest.approx(
+            expected
+        )
+
+    def test_paravirt_segment_cost_visible(self, disk):
+        small = disk.block_read_seconds(disk.pv_ring_bytes, IoMode.PARAVIRT)
+        big = disk.block_read_seconds(2 * disk.pv_ring_bytes, IoMode.PARAVIRT)
+        transfer = disk.pv_ring_bytes / disk.bandwidth_bytes_s
+        assert big - small == pytest.approx(
+            transfer + disk.pv_pipeline_seconds
+        )
+
+    def test_passthrough_not_split(self, disk):
+        big = disk.block_read_seconds(1 << 20, IoMode.PASSTHROUGH)
+        expected = disk.setup_seconds[IoMode.PASSTHROUGH] + (1 << 20) / disk.bandwidth_bytes_s
+        assert big == pytest.approx(expected)
+
+    def test_pv_beats_nothing_but_stays_finite(self, disk):
+        assert disk.read_seconds(1 << 30, 64 * 1024, IoMode.PARAVIRT) < 60
+
+
+class TestValidation:
+    def test_zero_block_rejected(self, disk):
+        with pytest.raises(ValueError):
+            disk.block_read_seconds(0, IoMode.NATIVE)
+
+    def test_zero_total_is_free(self, disk):
+        assert disk.read_seconds(0, 4096, IoMode.NATIVE) == 0.0
+
+    def test_bad_setup_rejected(self):
+        with pytest.raises(ValueError):
+            DiskModel(setup_seconds={mode: -1.0 for mode in IoMode})

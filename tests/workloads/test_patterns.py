@@ -1,0 +1,47 @@
+"""Pattern calibration arithmetic."""
+
+import math
+
+import pytest
+
+from repro.workloads.patterns import (
+    hot_weight_for_ratio,
+    imbalance_for_master_share,
+    master_share_for_imbalance,
+)
+
+
+class TestMasterShareInversion:
+    def test_roundtrip(self):
+        for share in (0.0, 0.1, 0.5, 0.9):
+            imb = imbalance_for_master_share(share)
+            assert master_share_for_imbalance(imb) == pytest.approx(share)
+
+    def test_full_concentration(self):
+        """All accesses on one of 8 nodes: RSD = sqrt(7) ~ 265%."""
+        assert imbalance_for_master_share(1.0) == pytest.approx(math.sqrt(7))
+
+    def test_facesim_calibration(self):
+        """Table 1: facesim 253% -> ~96% of accesses master-allocated."""
+        assert master_share_for_imbalance(2.53) == pytest.approx(0.956, abs=0.01)
+
+    def test_cap(self):
+        assert master_share_for_imbalance(10.0) == 0.97
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            imbalance_for_master_share(1.5)
+        with pytest.raises(ValueError):
+            master_share_for_imbalance(-0.1)
+
+
+class TestHotWeight:
+    def test_ratio(self):
+        assert hot_weight_for_ratio(0.27, 2.53) == pytest.approx(0.107, abs=0.01)
+
+    def test_swaptions_clamps_to_one(self):
+        """180% under round-4K vs 175% under first-touch: one page rules."""
+        assert hot_weight_for_ratio(1.80, 1.75) == 1.0
+
+    def test_zero_ft_imbalance(self):
+        assert hot_weight_for_ratio(0.5, 0.0) == 0.0
