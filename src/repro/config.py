@@ -40,6 +40,12 @@ class SimConfig:
     #: paper's section 7). Off by default: the paper's own evaluation has
     #: no TLB dimension, so the baseline reproduction keeps it out.
     model_tlb: bool = False
+    #: Attach the runtime P2M sanitizer (:mod:`repro.lint.sanitizer`) to
+    #: every hypervisor booted with this config: double maps, maps of
+    #: freed frames and out-of-order migrations raise immediately. The
+    #: test suite also enables it globally via
+    #: :func:`repro.lint.sanitizer.enable`.
+    sanitize_p2m: bool = False
 
     @property
     def page_bytes(self) -> int:

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence
 
-from repro.errors import P2MError, PolicyError
+from repro.errors import P2MError
 from repro.hardware.machine import Machine
 from repro.hypervisor.allocator import XenHeapAllocator
 from repro.hypervisor.domain import Domain
@@ -100,6 +100,22 @@ class InternalInterface:
             return False
         self.allocator.free_page(mfn)
         return True
+
+    # ------------------------------------------------------------------
+    # Whole-domain population (map_page applied wholesale): the static
+    # boot-time policies use these so they never touch the heap directly.
+
+    def populate_round_1g(self, domain: Domain) -> None:
+        """Eagerly back the domain in 1 GiB regions (Xen's default)."""
+        self.allocator.populate_round_1g(domain)
+
+    def populate_round_4k(self, domain: Domain) -> None:
+        """Eagerly back the domain page-by-page round-robin."""
+        self.allocator.populate_round_4k(domain)
+
+    def populate_empty(self, domain: Domain) -> None:
+        """Leave the domain unmapped so every first access faults."""
+        self.allocator.populate_empty(domain)
 
     # ------------------------------------------------------------------
     # Function 2: migrate a physical page to a new NUMA node

@@ -37,9 +37,9 @@ def make_policy(
         command_channel: decision transport (the CARREFOUR_CONTROL path).
     """
     if spec.base is PolicyName.ROUND_1G:
-        base: NumaPolicy = Round1GPolicy(internal.allocator)
+        base: NumaPolicy = Round1GPolicy(internal)
     elif spec.base is PolicyName.ROUND_4K:
-        base = Round4KPolicy(internal.allocator)
+        base = Round4KPolicy(internal)
     elif spec.base is PolicyName.FIRST_TOUCH:
         base = FirstTouchPolicy(internal, populate_lazily=first_touch_lazy)
     else:  # pragma: no cover - exhaustive over the enum

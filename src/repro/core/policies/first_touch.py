@@ -61,7 +61,7 @@ class FirstTouchPolicy(NumaPolicy):
     def populate(self, domain: Domain) -> None:
         """Leave the address space unmapped so first accesses fault."""
         if self.populate_lazily:
-            self.internal.allocator.populate_empty(domain)
+            self.internal.populate_empty(domain)
         else:
             domain.built = True
 

@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
+from repro.core.interface import InternalInterface
 from repro.core.policies.base import NumaPolicy
-from repro.hypervisor.allocator import XenHeapAllocator, _RoundRobin
 from repro.hypervisor.domain import Domain
+from repro.util import RoundRobin
 
 
 class Round1GPolicy(NumaPolicy):
@@ -20,19 +21,19 @@ class Round1GPolicy(NumaPolicy):
 
     name = "round-1g"
 
-    def __init__(self, allocator: XenHeapAllocator):
-        self.allocator = allocator
+    def __init__(self, internal: InternalInterface):
+        self.internal = internal
         self._fallback_rr: dict = {}
 
     def populate(self, domain: Domain) -> None:
         """Eagerly back the whole guest-physical space, 1 GiB at a time."""
-        self.allocator.populate_round_1g(domain)
+        self.internal.populate_round_1g(domain)
 
     def on_hypervisor_fault(
         self, domain: Domain, vcpu_id: int, gpfn: int, vcpu_node: int
     ) -> int:
         rr = self._fallback_rr.setdefault(
-            domain.domain_id, _RoundRobin(domain.home_nodes)
+            domain.domain_id, RoundRobin(domain.home_nodes)
         )
         return rr.next()
 

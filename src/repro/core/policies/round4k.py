@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
+from repro.core.interface import InternalInterface
 from repro.core.policies.base import NumaPolicy
-from repro.hypervisor.allocator import XenHeapAllocator, _RoundRobin
 from repro.hypervisor.domain import Domain
+from repro.util import RoundRobin
 
 
 class Round4KPolicy(NumaPolicy):
@@ -19,13 +20,13 @@ class Round4KPolicy(NumaPolicy):
 
     name = "round-4k"
 
-    def __init__(self, allocator: XenHeapAllocator):
-        self.allocator = allocator
+    def __init__(self, internal: InternalInterface):
+        self.internal = internal
         self._fault_rr: dict = {}
 
     def populate(self, domain: Domain) -> None:
         """Back every guest-physical page, one page per node in turn."""
-        self.allocator.populate_round_4k(domain)
+        self.internal.populate_round_4k(domain)
 
     def on_hypervisor_fault(
         self, domain: Domain, vcpu_id: int, gpfn: int, vcpu_node: int
@@ -34,7 +35,7 @@ class Round4KPolicy(NumaPolicy):
         # invalidated by a previous first-touch phase. Keep the round-robin
         # invariant for those.
         rr = self._fault_rr.setdefault(
-            domain.domain_id, _RoundRobin(domain.home_nodes)
+            domain.domain_id, RoundRobin(domain.home_nodes)
         )
         return rr.next()
 

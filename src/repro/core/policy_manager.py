@@ -145,11 +145,16 @@ class PolicyManager:
         if not isinstance(args, dict) or "policy" not in args:
             raise HypercallError("NUMA_SET_POLICY needs a {'policy': ...} dict")
         raw = args["policy"]
-        base = PolicyName(raw) if raw is not None else None
+        try:
+            base = PolicyName(raw) if raw is not None else None
+        except ValueError:
+            raise HypercallError(f"unknown NUMA policy {raw!r}") from None
         policy = self.set_policy(domain_id, base, args.get("carrefour"))
         return policy.name
 
     def _hc_page_events(self, domain_id: int, vcpu_id: int, args: Any):
+        if args is not None and not isinstance(args, (list, tuple)):
+            raise HypercallError("NUMA_PAGE_EVENTS needs a list of events")
         domain = self.domain(domain_id)
         policy = domain.numa_policy
         if policy is None or not policy.wants_page_events:
@@ -168,6 +173,10 @@ class PolicyManager:
             raise HypercallError("CARREFOUR_CONTROL may only come from dom0")
         if not isinstance(args, dict):
             raise HypercallError("CARREFOUR_CONTROL needs a dict payload")
+        if "target_domain" not in args or "decisions" not in args:
+            raise HypercallError(
+                "CARREFOUR_CONTROL needs target_domain and decisions"
+            )
         target = self.domain(args["target_domain"])
         policy = target.numa_policy
         if not isinstance(policy, CarrefourPolicy):

@@ -17,6 +17,20 @@ class P2MError(ReproError):
     """Invalid operation on the hypervisor page table."""
 
 
+class DomainError(ReproError):
+    """A domain was configured with invalid parameters."""
+
+
+class SanitizerError(ReproError):
+    """The runtime P2M sanitizer caught a protocol violation.
+
+    Raised when instrumented hypervisor state is manipulated outside the
+    paper's invariants: double-mapping a machine frame, mapping a freed
+    frame, or running the migration protocol (write-protect -> copy ->
+    remap, section 4.1) out of order.
+    """
+
+
 class HypercallError(ReproError):
     """A hypercall was malformed or rejected by the hypervisor."""
 

@@ -13,7 +13,7 @@ mechanics are 4 KiB-page mechanics, applied to a configurable granularity.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import OutOfMemoryError, TopologyError
@@ -154,6 +154,9 @@ class MachineMemory:
         self.controllers: Tuple[MemoryController, ...] = tuple(
             MemoryController(n, controller_gib_s) for n in range(num_nodes)
         )
+        #: Optional :class:`repro.lint.sanitizer.P2MSanitizer` tracking
+        #: frame ownership; attached by the hypervisor when sanitizing.
+        self.sanitizer: Optional[object] = None
 
     # ------------------------------------------------------------------
     # Address geometry
@@ -180,7 +183,10 @@ class MachineMemory:
         self._check_node(node)
         if count < 1:
             raise OutOfMemoryError("allocation count must be positive")
-        return self._extents[node].alloc(count, align)
+        mfn = self._extents[node].alloc(count, align)
+        if mfn is not None and self.sanitizer is not None:
+            self.sanitizer.frames_allocated(mfn, count)
+        return mfn
 
     def free_frames(self, mfn: Mfn, count: int = 1) -> None:
         """Free ``count`` contiguous frames starting at ``mfn``.
@@ -190,6 +196,8 @@ class MachineMemory:
         node = self.node_of_frame(mfn)
         if self.node_of_frame(mfn + count - 1) != node:
             raise OutOfMemoryError("free range crosses a NUMA node boundary")
+        if self.sanitizer is not None:
+            self.sanitizer.frames_freed(mfn, count)
         self._extents[node].free(mfn, count)
 
     def free_frames_on(self, node: NodeId) -> int:

@@ -24,6 +24,7 @@ from repro.config import SimConfig
 from repro.errors import OutOfMemoryError
 from repro.hardware.machine import Machine
 from repro.hypervisor.domain import Domain
+from repro.util import RoundRobin as _RoundRobin
 
 GIB = 1 << 30
 MIB_2 = 2 << 20
@@ -214,21 +215,3 @@ class XenHeapAllocator:
                 gpfn += 1
                 remaining -= 1
         return gpfn
-
-
-class _RoundRobin:
-    """Round-robin cursor over a node tuple."""
-
-    def __init__(self, nodes: Sequence[int]):
-        if not nodes:
-            raise ValueError("round robin needs at least one node")
-        self._nodes = tuple(nodes)
-        self._idx = 0
-
-    def peek(self) -> int:
-        return self._nodes[self._idx]
-
-    def next(self) -> int:
-        node = self._nodes[self._idx]
-        self._idx = (self._idx + 1) % len(self._nodes)
-        return node

@@ -8,9 +8,10 @@ table, and — in this reproduction — the handle of its active NUMA policy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING
 
+from repro.errors import DomainError
 from repro.hypervisor.p2m import P2MTable
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -58,11 +59,11 @@ class Domain:
         home_nodes: Sequence[int],
     ):
         if num_vcpus < 1:
-            raise ValueError("a domain needs at least one vCPU")
+            raise DomainError("a domain needs at least one vCPU")
         if memory_pages < 1:
-            raise ValueError("a domain needs memory")
+            raise DomainError("a domain needs memory")
         if not home_nodes:
-            raise ValueError("a domain needs at least one home node")
+            raise DomainError("a domain needs at least one home node")
         self.domain_id = domain_id
         self.name = name
         self.memory_pages = memory_pages

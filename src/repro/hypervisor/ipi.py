@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
+from repro.errors import SchedulerError
+
 
 @dataclass(frozen=True)
 class IpiComponent:
@@ -67,7 +69,7 @@ class IpiModel:
         try:
             return self._components[mode]
         except KeyError:
-            raise ValueError(f"unknown IPI mode {mode!r}") from None
+            raise SchedulerError(f"unknown IPI mode {mode!r}") from None
 
     def repartition(self, mode: str) -> Dict[str, float]:
         """Fraction of total cost per component (Figure 5's bar layout)."""

@@ -56,6 +56,10 @@ class P2MTable:
         #: engine uses it to keep page->node placement views in sync.
         #: Must provide ``entry_set(gpfn, mfn)`` and ``entry_invalidated(gpfn)``.
         self.observer: Optional[object] = None
+        #: Optional :class:`repro.lint.sanitizer.P2MSanitizer`; checked
+        #: before every mutation so a trapped violation leaves the table
+        #: unchanged. Attached by the hypervisor when sanitizing.
+        self.sanitizer: Optional[object] = None
 
     # ------------------------------------------------------------------
     # Population
@@ -64,6 +68,8 @@ class P2MTable:
         """Map ``gpfn`` to ``mfn`` (creating or revalidating the entry)."""
         if gpfn < 0 or mfn < 0:
             raise P2MError("frame numbers must be non-negative")
+        if self.sanitizer is not None:
+            self.sanitizer.entry_set(self.domain_id, gpfn, mfn)
         self._entries[gpfn] = P2MEntry(mfn=mfn, valid=True, writable=writable)
         if self.observer is not None:
             self.observer.entry_set(gpfn, mfn)
@@ -81,6 +87,8 @@ class P2MTable:
         entry.valid = False
         self.invalidations += 1
         mfn, entry.mfn = entry.mfn, -1
+        if self.sanitizer is not None:
+            self.sanitizer.entry_invalidated(self.domain_id, gpfn)
         if self.observer is not None:
             self.observer.entry_invalidated(gpfn)
         return mfn
@@ -90,6 +98,8 @@ class P2MTable:
         entry = self._entries.pop(gpfn, None)
         if entry is None or not entry.valid:
             return None
+        if self.sanitizer is not None:
+            self.sanitizer.entry_invalidated(self.domain_id, gpfn)
         if self.observer is not None:
             self.observer.entry_invalidated(gpfn)
         return entry.mfn
@@ -123,6 +133,8 @@ class P2MTable:
     def write_protect(self, gpfn: int) -> None:
         """Clear the writable bit so concurrent guest writes trap."""
         entry = self._require_valid(gpfn)
+        if self.sanitizer is not None:
+            self.sanitizer.entry_write_protected(self.domain_id, gpfn)
         entry.writable = False
 
     def remap(self, gpfn: int, new_mfn: int) -> int:
@@ -133,6 +145,10 @@ class P2MTable:
         entry = self._require_valid(gpfn)
         if entry.writable:
             raise P2MError("remap requires a write-protected entry")
+        if self.sanitizer is not None:
+            self.sanitizer.entry_remapped(
+                self.domain_id, gpfn, entry.mfn, new_mfn
+            )
         old = entry.mfn
         entry.mfn = new_mfn
         entry.writable = True
@@ -144,6 +160,8 @@ class P2MTable:
     def unprotect(self, gpfn: int) -> None:
         """Abort a migration: restore writability without remapping."""
         entry = self._require_valid(gpfn)
+        if self.sanitizer is not None:
+            self.sanitizer.entry_unprotected(self.domain_id, gpfn)
         entry.writable = True
 
     # ------------------------------------------------------------------

@@ -22,7 +22,7 @@ from repro.config import SimConfig
 from repro.core.interface import InternalInterface
 from repro.core.policies.base import PolicyName, PolicySpec
 from repro.core.policy_manager import PolicyManager
-from repro.errors import PolicyError, SchedulerError
+from repro.errors import PolicyError
 from repro.hardware.machine import Machine
 from repro.hypervisor.allocator import XenHeapAllocator, choose_home_nodes
 from repro.hypervisor.domain import Domain
@@ -30,6 +30,7 @@ from repro.hypervisor.faults import FaultHandler
 from repro.hypervisor.hypercalls import HypercallCostModel, HypercallTable
 from repro.hypervisor.ipi import IpiModel
 from repro.hypervisor.scheduler import Scheduler
+from repro.lint import sanitizer as p2m_sanitizer
 
 
 @dataclass(frozen=True)
@@ -86,6 +87,10 @@ class Hypervisor:
         self.ipi = IpiModel()
         self.domains: Dict[int, Domain] = {}
         self._next_domid = 1
+        self.sanitizer: Optional[p2m_sanitizer.P2MSanitizer] = None
+        if machine.config.sanitize_p2m or p2m_sanitizer.is_enabled():
+            self.sanitizer = p2m_sanitizer.P2MSanitizer()
+            machine.memory.sanitizer = self.sanitizer
         self._dom0 = self._create_dom0()
 
     # ------------------------------------------------------------------
@@ -134,6 +139,8 @@ class Hypervisor:
             home_nodes=nodes,
         )
         self._next_domid += 1
+        if self.sanitizer is not None:
+            domain.p2m.sanitizer = self.sanitizer
         self.policy_manager.boot_domain(domain, boot_policy)
         if pin_pcpus is None:
             pin_pcpus = self._default_pinning(domain)
@@ -224,6 +231,8 @@ class Hypervisor:
             ),
             home_nodes=(0,),
         )
+        if self.sanitizer is not None:
+            dom0.p2m.sanitizer = self.sanitizer
         self.policy_manager.boot_domain(
             dom0, PolicySpec(PolicyName.ROUND_4K)
         )

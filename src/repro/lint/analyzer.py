@@ -1,0 +1,104 @@
+"""File discovery + rule driving + report rendering."""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Type
+
+from repro.lint.findings import Finding
+from repro.lint.registry import get_rules
+from repro.lint.visitor import FileContext, Rule
+
+
+@dataclass
+class LintReport:
+    """Outcome of one analyzer run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.errors
+
+    def render_text(self) -> str:
+        lines = [f.render() for f in self.findings]
+        lines.extend(f"error: {err}" for err in self.errors)
+        noun = "file" if self.files_checked == 1 else "files"
+        if self.findings or self.errors:
+            lines.append(
+                f"{len(self.findings)} finding(s) in "
+                f"{self.files_checked} {noun}"
+            )
+        else:
+            lines.append(f"all clean: {self.files_checked} {noun} checked")
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        return json.dumps(
+            {
+                "files_checked": self.files_checked,
+                "errors": self.errors,
+                "findings": [f.to_dict() for f in self.findings],
+            },
+            indent=2,
+        )
+
+
+def discover(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            found.append(path)
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d not in ("__pycache__",)
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        found.append(os.path.join(dirpath, name))
+    return sorted(dict.fromkeys(found))
+
+
+class Analyzer:
+    """Runs a set of rules over a set of paths.
+
+    Args:
+        select: keep only these rules (ids or names); None keeps all.
+        ignore: drop these rules (ids or names).
+    """
+
+    def __init__(
+        self,
+        select: Optional[Sequence[str]] = None,
+        ignore: Optional[Sequence[str]] = None,
+    ):
+        self.rule_classes: List[Type[Rule]] = get_rules(select, ignore)
+
+    def run(self, paths: Sequence[str]) -> LintReport:
+        report = LintReport()
+        for path in paths:
+            # A typo'd path must not read as "all clean" in CI.
+            if not os.path.exists(path):
+                report.errors.append(f"{path}: no such file or directory")
+        for path in discover(paths):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+                ctx = FileContext(path, source)
+            except (OSError, SyntaxError, ValueError) as exc:
+                report.errors.append(f"{path}: {exc}")
+                continue
+            report.files_checked += 1
+            for rule_cls in self.rule_classes:
+                rule = rule_cls()
+                if not rule.applies_to(ctx):
+                    continue
+                report.findings.extend(rule.check(ctx))
+        report.findings.sort(key=lambda f: f.sort_key)
+        return report

@@ -1,0 +1,94 @@
+"""``python -m repro.lint`` — the analyzer's command line."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import textwrap
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.lint.analyzer import Analyzer
+from repro.lint.registry import all_rules
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "Static analyzer enforcing the reproduction's architectural "
+            "invariants (interface encapsulation, hypercall validation, "
+            "migration protocol ordering, typed errors, determinism)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to check (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="run only this rule (id or name); repeatable",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="RULE",
+        help="skip this rule (id or name); repeatable",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    blocks = []
+    for cls in all_rules():
+        body = textwrap.fill(
+            cls.description, width=76, initial_indent="    ",
+            subsequent_indent="    ",
+        )
+        blocks.append(f"{cls.rule_id} [{cls.name}]\n{body}")
+    return "\n\n".join(blocks)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code.
+
+    Exit codes: 0 clean, 1 findings reported, 2 usage/internal error.
+    """
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.list_rules:
+            print(_list_rules())
+            return 0
+        try:
+            analyzer = Analyzer(select=args.select, ignore=args.ignore)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        report = analyzer.run(args.paths)
+        if args.format == "json":
+            print(report.render_json())
+        else:
+            print(report.render_text())
+        return 0 if report.ok else 1
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

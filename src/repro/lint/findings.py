@@ -1,0 +1,42 @@
+"""The unit of analyzer output: one finding at one source location."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        rule_id: stable identifier ("RPR001").
+        rule_name: human-readable rule slug ("interface-encapsulation").
+        path: file the finding is in (as given to the analyzer).
+        line: 1-based source line.
+        col: 1-based source column.
+        message: what is wrong and what the sanctioned pattern is.
+    """
+
+    rule_id: str
+    rule_name: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def to_dict(self) -> Dict[str, Union[str, int]]:
+        """JSON-ready representation."""
+        return asdict(self)
+
+    def render(self) -> str:
+        """``path:line:col: RULE [name] message`` — one line per finding."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.rule_name}] {self.message}"
+        )

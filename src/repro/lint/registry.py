@@ -1,0 +1,60 @@
+"""Rule registry: rules self-register via the :func:`register` decorator."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Type
+
+from repro.errors import ReproError
+from repro.lint.visitor import Rule
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the registry (ids must be unique)."""
+    if not cls.rule_id or not cls.name:
+        raise ReproError(f"rule {cls.__name__} needs rule_id and name")
+    existing = _REGISTRY.get(cls.rule_id)
+    if existing is not None and existing is not cls:
+        raise ReproError(f"duplicate rule id {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> List[Type[Rule]]:
+    """Every registered rule class, sorted by id."""
+    # Importing the rules package runs the @register decorators.
+    import repro.lint.rules  # noqa: F401  (import for side effect)
+
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rules(
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Type[Rule]]:
+    """Resolve a rule subset by id or name.
+
+    Args:
+        select: keep only these rules (ids or names); None keeps all.
+        ignore: drop these rules (ids or names).
+
+    Raises:
+        ReproError: an id/name matches no registered rule.
+    """
+    rules = all_rules()
+    known = {cls.rule_id for cls in rules} | {cls.name for cls in rules}
+    for wanted in list(select or []) + list(ignore or []):
+        if wanted not in known:
+            raise ReproError(f"unknown lint rule {wanted!r}")
+    if select:
+        chosen = set(select)
+        rules = [c for c in rules if c.rule_id in chosen or c.name in chosen]
+    if ignore:
+        dropped = set(ignore)
+        rules = [
+            c
+            for c in rules
+            if c.rule_id not in dropped and c.name not in dropped
+        ]
+    return rules

@@ -1,0 +1,15 @@
+"""The shipped lint rules; importing this package registers them all."""
+
+from repro.lint.rules.determinism import DeterminismRule
+from repro.lint.rules.encapsulation import InterfaceEncapsulationRule
+from repro.lint.rules.error_discipline import ErrorDisciplineRule
+from repro.lint.rules.hypercall_validation import HypercallValidationRule
+from repro.lint.rules.migration_protocol import MigrationProtocolRule
+
+__all__ = [
+    "InterfaceEncapsulationRule",
+    "DeterminismRule",
+    "ErrorDisciplineRule",
+    "HypercallValidationRule",
+    "MigrationProtocolRule",
+]

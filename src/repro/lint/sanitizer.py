@@ -1,0 +1,175 @@
+"""Runtime P2M sanitizer: the dynamic half of the correctness tooling.
+
+The static rules freeze the architecture; this module checks the
+*dynamic* invariants of the paper's memory machinery while tests run:
+
+* a machine frame backs at most one (domain, gpfn) at a time — a second
+  ``set_entry`` on the same mfn is a **double map** (paper section 2.1:
+  the p2m is what isolates domains from each other);
+* a frame returned to the heap must not be mapped, and a mapped frame
+  must not be freed while still referenced;
+* migration follows write-protect -> copy -> remap (section 4.1):
+  remapping an entry that was never write-protected, write-protecting
+  twice, or revalidating an entry mid-migration all raise.
+
+One :class:`P2MSanitizer` is owned by one hypervisor and attached to its
+machine memory and to each domain's p2m table (``.sanitizer``
+attributes, ``None`` when disabled — the hooks cost one attribute check
+each). Enable globally with :func:`enable` (the tier-1 test suite does,
+via ``tests/conftest.py``) or per-run with ``SimConfig.sanitize_p2m``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from repro.errors import SanitizerError
+
+_GLOBALLY_ENABLED = False
+
+
+def enable() -> None:
+    """Attach a sanitizer to every hypervisor created from now on."""
+    global _GLOBALLY_ENABLED
+    _GLOBALLY_ENABLED = True
+
+
+def disable() -> None:
+    """Stop attaching sanitizers to newly created hypervisors."""
+    global _GLOBALLY_ENABLED
+    _GLOBALLY_ENABLED = False
+
+
+def is_enabled() -> bool:
+    """Whether new hypervisors get a sanitizer regardless of config."""
+    return _GLOBALLY_ENABLED
+
+
+class P2MSanitizer:
+    """Shadow bookkeeping of frame ownership and migration state.
+
+    The sanitizer never mutates hypervisor state: every hook either
+    records the transition or raises :class:`SanitizerError` *before*
+    the caller applies it, so a trapped violation leaves the real p2m
+    and heap untouched.
+    """
+
+    def __init__(self) -> None:
+        #: mfn -> (domain_id, gpfn) for every currently mapped frame.
+        self._owners: Dict[int, Tuple[int, int]] = {}
+        #: (domain_id, gpfn) -> mfn, the reverse of :attr:`_owners`.
+        self._backing: Dict[Tuple[int, int], int] = {}
+        #: Every frame currently handed out by the machine allocator.
+        self._allocated: Set[int] = set()
+        #: Entries write-protected by an in-flight migration.
+        self._protected: Set[Tuple[int, int]] = set()
+
+    # ------------------------------------------------------------------
+    # Machine allocator hooks
+
+    def frames_allocated(self, mfn: int, count: int) -> None:
+        """A run of ``count`` frames starting at ``mfn`` left the heap."""
+        self._allocated.update(range(mfn, mfn + count))
+
+    def frames_freed(self, mfn: int, count: int) -> None:
+        """A run of frames is about to return to the heap."""
+        for frame in range(mfn, mfn + count):
+            owner = self._owners.get(frame)
+            if owner is not None:
+                raise SanitizerError(
+                    f"freeing frame {frame:#x} still mapped at domain "
+                    f"{owner[0]} gpfn {owner[1]:#x}; invalidate or remap "
+                    f"the entry before freeing its frame"
+                )
+        self._allocated.difference_update(range(mfn, mfn + count))
+
+    # ------------------------------------------------------------------
+    # P2M table hooks (called before the table mutates)
+
+    def entry_set(self, domain_id: int, gpfn: int, mfn: int) -> None:
+        """``set_entry``: map/revalidate ``gpfn`` onto ``mfn``."""
+        key = (domain_id, gpfn)
+        if key in self._protected:
+            raise SanitizerError(
+                f"set_entry on write-protected domain {domain_id} gpfn "
+                f"{gpfn:#x}: an in-flight migration must finish (remap) "
+                f"or abort (unprotect) first"
+            )
+        if mfn not in self._allocated:
+            raise SanitizerError(
+                f"mapping frame {mfn:#x} that is not allocated from the "
+                f"heap (freed or never allocated) at domain {domain_id} "
+                f"gpfn {gpfn:#x}"
+            )
+        owner = self._owners.get(mfn)
+        if owner is not None and owner != key:
+            raise SanitizerError(
+                f"double map of frame {mfn:#x}: already backs domain "
+                f"{owner[0]} gpfn {owner[1]:#x}, now mapped at domain "
+                f"{domain_id} gpfn {gpfn:#x}"
+            )
+        old_mfn = self._backing.get(key)
+        if old_mfn is not None and old_mfn != mfn:
+            raise SanitizerError(
+                f"overwriting live mapping of domain {domain_id} gpfn "
+                f"{gpfn:#x} (frame {old_mfn:#x} -> {mfn:#x}) without "
+                f"invalidate or migrate; the old frame would leak"
+            )
+        self._owners[mfn] = key
+        self._backing[key] = mfn
+
+    def entry_invalidated(self, domain_id: int, gpfn: int) -> None:
+        """``invalidate``/``remove``: ``gpfn`` no longer translates."""
+        key = (domain_id, gpfn)
+        mfn = self._backing.pop(key, None)
+        if mfn is not None:
+            self._owners.pop(mfn, None)
+        self._protected.discard(key)
+
+    def entry_write_protected(self, domain_id: int, gpfn: int) -> None:
+        """``write_protect``: migration step one."""
+        key = (domain_id, gpfn)
+        if key in self._protected:
+            raise SanitizerError(
+                f"double write_protect of domain {domain_id} gpfn "
+                f"{gpfn:#x}: a migration of this page is already in flight"
+            )
+        self._protected.add(key)
+
+    def entry_remapped(
+        self, domain_id: int, gpfn: int, old_mfn: int, new_mfn: int
+    ) -> None:
+        """``remap``: migration step three (after the copy)."""
+        key = (domain_id, gpfn)
+        if key not in self._protected:
+            raise SanitizerError(
+                f"remap of domain {domain_id} gpfn {gpfn:#x} without a "
+                f"preceding write_protect: migration must write-protect "
+                f"before copy/remap (out-of-order migration)"
+            )
+        if new_mfn not in self._allocated:
+            raise SanitizerError(
+                f"remap of domain {domain_id} gpfn {gpfn:#x} onto frame "
+                f"{new_mfn:#x} that is not allocated from the heap"
+            )
+        owner = self._owners.get(new_mfn)
+        if owner is not None and owner != key:
+            raise SanitizerError(
+                f"double map via remap: frame {new_mfn:#x} already backs "
+                f"domain {owner[0]} gpfn {owner[1]:#x}"
+            )
+        self._protected.discard(key)
+        if self._backing.get(key) == old_mfn:
+            self._owners.pop(old_mfn, None)
+        self._owners[new_mfn] = key
+        self._backing[key] = new_mfn
+
+    def entry_unprotected(self, domain_id: int, gpfn: int) -> None:
+        """``unprotect``: a migration was aborted."""
+        key = (domain_id, gpfn)
+        if key not in self._protected:
+            raise SanitizerError(
+                f"unprotect of domain {domain_id} gpfn {gpfn:#x} that "
+                f"was never write-protected"
+            )
+        self._protected.discard(key)

@@ -17,7 +17,6 @@ from repro.config import SimConfig, DEFAULT_CONFIG
 from repro.core.page_queue import lock_service_slowdown
 from repro.core.policies.base import PolicyName, PolicySpec
 from repro.core.interface import ExternalInterface
-from repro.errors import ReproError
 from repro.guest.numa import LinuxNumaMode
 from repro.guest.page_alloc import GuestPageAllocator
 from repro.guest.pv_patch import PvNumaPatch
@@ -29,6 +28,7 @@ from repro.hypervisor.xen import Hypervisor, XenFeatures, XEN, XEN_PLUS
 from repro.sim.calibration import calibrate_app
 from repro.sim.instance import AppRun, RuntimeSegment, ThreadCtx
 from repro.sim.placement import PlacementTracker
+from repro.util import stable_hash
 from repro.vio.disk import DiskModel, IoMode
 from repro.workloads.app import AppSpec, build_segments
 
@@ -310,7 +310,7 @@ class LinuxEnvironment(Environment):
             for segment in segments:
                 context.attach_segment(segment)
             rng = np.random.default_rng(
-                self.config.rng_seed + hash(app.name) % 10000
+                self.config.rng_seed + stable_hash(app.name) % 10000
             )
             runs.append(
                 AppRun(app, op_model, segments, threads, context, self.config, rng)
@@ -598,7 +598,8 @@ class XenEnvironment(Environment):
         for segment in segments:
             context.attach_segment(segment)
         rng = np.random.default_rng(
-            self.config.rng_seed + hash((app.name, domain.domain_id)) % 10000
+            self.config.rng_seed
+            + stable_hash((app.name, domain.domain_id)) % 10000
         )
         run = AppRun(
             app, op_model, segments, threads, context, self.config, rng

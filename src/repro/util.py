@@ -1,0 +1,47 @@
+"""Small layer-neutral helpers shared across the stack.
+
+Lives below every other package so that both the hypervisor layer and the
+policy layer can use these without creating import cycles or reaching
+through each other's internals (the `repro.lint` interface-encapsulation
+rule forbids policies from importing hypervisor modules).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Sequence, Tuple, Union
+
+Hashable = Union[str, int, float, Tuple["Hashable", ...]]
+
+
+def stable_hash(value: Hashable) -> int:
+    """A deterministic 32-bit hash, independent of ``PYTHONHASHSEED``.
+
+    The builtin :func:`hash` randomises string hashes per process, which
+    silently breaks run reproducibility when used to derive RNG seeds
+    (the `repro.lint` determinism rule flags it). This replacement is
+    stable across processes and platforms.
+    """
+    if isinstance(value, tuple):
+        data = "\x1f".join(str(v) for v in value)
+    else:
+        data = str(value)
+    return zlib.crc32(data.encode("utf-8"))
+
+
+class RoundRobin:
+    """Round-robin cursor over a node tuple."""
+
+    def __init__(self, nodes: Sequence[int]):
+        if not nodes:
+            raise ValueError("round robin needs at least one node")
+        self._nodes = tuple(nodes)
+        self._idx = 0
+
+    def peek(self) -> int:
+        return self._nodes[self._idx]
+
+    def next(self) -> int:
+        node = self._nodes[self._idx]
+        self._idx = (self._idx + 1) % len(self._nodes)
+        return node

@@ -7,6 +7,20 @@ import pytest
 from repro.config import SimConfig
 from repro.hardware.presets import amd48, small_machine
 from repro.hypervisor.xen import Hypervisor, XEN, XEN_PLUS
+from repro.lint import sanitizer as p2m_sanitizer
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _sanitize_p2m():
+    """Run the whole suite with the runtime P2M sanitizer armed.
+
+    Every hypervisor the tests create gets shadow frame-ownership and
+    migration-protocol checking; a double map, a map of a freed frame or
+    an out-of-order migration fails the test that caused it.
+    """
+    p2m_sanitizer.enable()
+    yield
+    p2m_sanitizer.disable()
 
 
 @pytest.fixture

@@ -62,7 +62,7 @@ class TestPolicySpec:
 class TestRound4K:
     def test_populate_round_robin(self, setup):
         machine, allocator, internal, domain = setup
-        policy = Round4KPolicy(allocator)
+        policy = Round4KPolicy(internal)
         policy.populate(domain)
         nodes = [
             machine.node_of_frame(domain.p2m.translate(g)) for g in range(8)
@@ -70,15 +70,15 @@ class TestRound4K:
         assert nodes == [0, 1, 2, 3, 0, 1, 2, 3]
 
     def test_flags(self, setup):
-        _, allocator, _, _ = setup
-        policy = Round4KPolicy(allocator)
+        _, _, internal, _ = setup
+        policy = Round4KPolicy(internal)
         assert not policy.is_dynamic
         assert not policy.wants_page_events
         assert not policy.requires_iommu_disabled
 
     def test_fault_round_robins_home_nodes(self, setup):
         machine, allocator, internal, domain = setup
-        policy = Round4KPolicy(allocator)
+        policy = Round4KPolicy(internal)
         nodes = [policy.on_hypervisor_fault(domain, 0, g, 0) for g in range(4)]
         assert nodes == [0, 1, 2, 3]
 
@@ -86,13 +86,13 @@ class TestRound4K:
 class TestRound1G:
     def test_populate_all_pages(self, setup):
         machine, allocator, internal, domain = setup
-        policy = Round1GPolicy(allocator)
+        policy = Round1GPolicy(internal)
         policy.populate(domain)
         assert domain.p2m.num_valid == domain.memory_pages
 
     def test_flags(self, setup):
-        _, allocator, _, _ = setup
-        policy = Round1GPolicy(allocator)
+        _, _, internal, _ = setup
+        policy = Round1GPolicy(internal)
         assert not policy.wants_page_events
         assert not policy.requires_iommu_disabled
 
@@ -107,7 +107,7 @@ class TestFirstTouch:
 
     def test_runtime_switch_keeps_mapping(self, setup):
         machine, allocator, internal, domain = setup
-        Round4KPolicy(allocator).populate(domain)
+        Round4KPolicy(internal).populate(domain)
         policy = FirstTouchPolicy(internal, populate_lazily=False)
         policy.populate(domain)
         assert domain.p2m.num_valid == domain.memory_pages
@@ -126,7 +126,7 @@ class TestFirstTouch:
 
     def test_page_events_invalidate_released(self, setup):
         machine, allocator, internal, domain = setup
-        Round4KPolicy(allocator).populate(domain)
+        Round4KPolicy(internal).populate(domain)
         policy = FirstTouchPolicy(internal, populate_lazily=False)
         events = [PageEvent(PageOp.RELEASE, 3), PageEvent(PageOp.RELEASE, 4)]
         inv, skip = policy.on_page_events(domain, events)
@@ -136,7 +136,7 @@ class TestFirstTouch:
 
     def test_page_events_skip_reallocated(self, setup):
         machine, allocator, internal, domain = setup
-        Round4KPolicy(allocator).populate(domain)
+        Round4KPolicy(internal).populate(domain)
         policy = FirstTouchPolicy(internal, populate_lazily=False)
         events = [PageEvent(PageOp.RELEASE, 3), PageEvent(PageOp.ALLOC, 3)]
         inv, skip = policy.on_page_events(domain, events)

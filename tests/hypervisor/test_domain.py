@@ -2,20 +2,21 @@
 
 import pytest
 
+from repro.errors import DomainError
 from repro.hypervisor.domain import Domain, VCpu
 
 
 class TestDomainValidation:
     def test_needs_vcpus(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(DomainError):
             Domain(1, "d", num_vcpus=0, memory_pages=10, home_nodes=(0,))
 
     def test_needs_memory(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(DomainError):
             Domain(1, "d", num_vcpus=1, memory_pages=0, home_nodes=(0,))
 
     def test_needs_home_nodes(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(DomainError):
             Domain(1, "d", num_vcpus=1, memory_pages=10, home_nodes=())
 
 

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import SchedulerError
 from repro.hypervisor.ipi import IpiModel
 
 
@@ -21,7 +22,7 @@ class TestTotals:
         assert 10 < model.cost("guest") / model.cost("native") < 15
 
     def test_unknown_mode_rejected(self, model):
-        with pytest.raises(ValueError):
+        with pytest.raises(SchedulerError):
             model.cost("paravirt")
 
 

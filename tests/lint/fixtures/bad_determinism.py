@@ -1,0 +1,18 @@
+"""Seeded RPR002 violations: every flavour of nondeterminism."""
+
+import random
+import time
+
+import numpy as np
+
+
+def derive_seed(name):
+    return hash(name) + int(time.time())
+
+
+def make_rng():
+    return np.random.default_rng()
+
+
+def draw():
+    return np.random.uniform(0, 1) + random.random()

@@ -1,0 +1,22 @@
+"""Seeded RPR003 violations: broad excepts and untyped raises."""
+
+
+def swallow():
+    try:
+        return 1
+    except:
+        return None
+
+
+def too_broad():
+    try:
+        return 1
+    except Exception:
+        raise ValueError("untyped in core scope")
+
+
+def tuple_broad():
+    try:
+        return 1
+    except (KeyError, BaseException):
+        return None

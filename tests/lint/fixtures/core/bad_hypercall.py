@@ -1,0 +1,11 @@
+"""Seeded RPR004 violation: state touched before validation."""
+
+from repro.errors import HypercallError
+
+
+class Manager:
+    def _hc_leaky(self, domain_id, vcpu_id, args):
+        domain = self.domain(domain_id)
+        if not isinstance(args, dict):
+            raise HypercallError("needs a dict")
+        return domain.numa_policy

@@ -1,0 +1,18 @@
+"""Typed-error discipline (no findings)."""
+
+from repro.errors import PolicyError
+
+
+def typed():
+    try:
+        return 1
+    except KeyError:
+        raise PolicyError("typed and precise") from None
+
+
+def protocol():
+    raise NotImplementedError
+
+
+def __getattr__(name):
+    raise AttributeError(name)

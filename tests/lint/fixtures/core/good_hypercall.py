@@ -1,0 +1,15 @@
+"""Validation-first hypercall handlers (no findings)."""
+
+from repro.errors import HypercallError
+
+
+class Manager:
+    def _hc_strict(self, domain_id, vcpu_id, args):
+        if not isinstance(args, dict):
+            raise HypercallError("needs a dict")
+        domain = self.domain(domain_id)
+        return domain.numa_policy
+
+    def _hc_helper_validated(self, domain_id, vcpu_id, args):
+        self.validate_events(args)
+        return self.domain(domain_id)

@@ -1,0 +1,13 @@
+"""Seeded RPR001 violations: a policy reaching past the interface."""
+
+from repro.hypervisor.allocator import XenHeapAllocator, _RoundRobin
+from repro.hypervisor.p2m import P2MTable
+
+
+class BadPolicy:
+    def __init__(self, hypervisor):
+        self.allocator = hypervisor.allocator
+
+    def populate(self, domain):
+        mfn = self.allocator.alloc_page_on(0)
+        domain.p2m.set_entry(0, mfn)

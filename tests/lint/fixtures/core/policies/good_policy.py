@@ -1,0 +1,17 @@
+"""A policy that stays behind the internal interface (no findings)."""
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.core.interface import InternalInterface
+
+
+class GoodPolicy:
+    def __init__(self, internal):
+        self.internal = internal
+
+    def populate(self, domain):
+        self.internal.populate_round_4k(domain)
+
+    def rebalance(self, domain, gpfn, node):
+        self.internal.migrate_page(domain, gpfn, node)

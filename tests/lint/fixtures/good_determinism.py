@@ -1,0 +1,11 @@
+"""Deterministic randomness patterns (no findings)."""
+
+import numpy as np
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)
+
+
+def draw(rng):
+    return rng.uniform(0, 1) + rng.random()

@@ -1,0 +1,7 @@
+"""Seeded RPR005 violation: remap with no preceding write-protect."""
+
+
+def migrate(p2m, machine, gpfn, dst_node):
+    new_mfn = machine.memory.alloc_frames(dst_node, 1)
+    old_mfn = p2m.remap(gpfn, new_mfn)
+    return old_mfn

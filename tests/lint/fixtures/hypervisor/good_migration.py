@@ -1,0 +1,14 @@
+"""Protocol-respecting migration (no findings)."""
+
+
+def migrate(p2m, machine, gpfn, dst_node):
+    new_mfn = machine.memory.alloc_frames(dst_node, 1)
+    p2m.write_protect(gpfn)
+    old_mfn = p2m.remap(gpfn, new_mfn)
+    machine.memory.free_frames(old_mfn, 1)
+    return old_mfn
+
+
+def abort(p2m, gpfn):
+    p2m.write_protect(gpfn)
+    p2m.unprotect(gpfn)

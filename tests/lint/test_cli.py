@@ -1,0 +1,71 @@
+"""The ``python -m repro.lint`` command line, including the self-check."""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.lint.cli import main
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main([os.path.join(FIXTURES, "good_determinism.py")]) == 0
+        assert "all clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, capsys):
+        assert main([os.path.join(FIXTURES, "bad_determinism.py")]) == 1
+        out = capsys.readouterr().out
+        assert "RPR002" in out and "finding(s)" in out
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["--select", "RPR999", FIXTURES]) == 2
+
+    def test_missing_path_is_an_error(self, capsys):
+        assert main(["no/such/dir"]) == 1
+        assert "no such file" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005"):
+            assert rule_id in out
+
+
+class TestJsonOutput:
+    def test_json_is_parseable_and_complete(self, capsys):
+        code = main(
+            ["--format", "json", os.path.join(FIXTURES, "bad_determinism.py")]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files_checked"] == 1
+        assert payload["errors"] == []
+        finding = payload["findings"][0]
+        assert set(finding) == {
+            "rule_id",
+            "rule_name",
+            "path",
+            "line",
+            "col",
+            "message",
+        }
+
+
+class TestSelfCheck:
+    def test_src_repro_is_lint_clean(self):
+        """The tree this repo ships must pass its own analyzer."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", "src/repro"],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "all clean" in proc.stdout
