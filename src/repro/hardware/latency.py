@@ -30,12 +30,21 @@ Two empirical observations from Table 3 are preserved:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Tuple, Union
+
+import numpy as np
+
+#: Scalar or ndarray — the model's latency functions broadcast over both.
+Rho = Union[float, np.ndarray]
 
 
 @dataclass
 class LatencyModel:
     """Memory access latency as a function of hops and congestion.
+
+    All latency functions accept scalars or ndarrays (broadcast together):
+    scalar inputs return a plain float, array inputs an ndarray. The array
+    path performs the exact same elementwise arithmetic as the scalar one.
 
     Args:
         base_cycles: uncontended latency for 0, 1, 2 hops.
@@ -50,6 +59,8 @@ class LatencyModel:
     rho_cap: float = 0.95
     freq_ghz: float = 2.2
     _coeffs: Tuple[float, ...] = field(init=False, repr=False)
+    _base_arr: np.ndarray = field(init=False, repr=False)
+    _coeff_arr: np.ndarray = field(init=False, repr=False)
 
     def __post_init__(self):
         if len(self.base_cycles) != len(self.contended_cycles):
@@ -63,11 +74,13 @@ class LatencyModel:
         )
         if any(c < 0 for c in self._coeffs):
             raise ValueError("contended latencies must exceed base latencies")
+        self._base_arr = np.asarray(self.base_cycles, dtype=np.float64)
+        self._coeff_arr = np.asarray(self._coeffs, dtype=np.float64)
 
     # ------------------------------------------------------------------
 
-    def queueing(self, rho: float) -> float:
-        """Queueing delay factor for utilisation ``rho``.
+    def queueing(self, rho: Rho) -> Rho:
+        """Queueing delay factor for utilisation ``rho`` (scalar or ndarray).
 
         M/M/1 (``rho / (1 - rho)``) up to ``rho_cap``; beyond the knee the
         curve continues *linearly* with the knee's slope. An open M/M/1
@@ -78,18 +91,26 @@ class LatencyModel:
         to what the controller can actually serve — i.e. bandwidth
         saturation, the behaviour behind the paper's worst slowdowns.
         """
-        rho = max(rho, 0.0)
+        rho = np.maximum(np.asarray(rho, dtype=np.float64), 0.0)
         cap = self.rho_cap
-        if rho <= cap:
-            return rho / (1.0 - rho)
+        # Evaluate the M/M/1 branch on utilisations clamped to the cap so
+        # the rejected branch never divides by (1 - rho) near or past 1.
+        clamped = np.minimum(rho, cap)
         knee = cap / (1.0 - cap)
         slope = 1.0 / (1.0 - cap) ** 2
-        return knee + slope * (rho - cap)
+        out = np.where(
+            rho <= cap,
+            clamped / (1.0 - clamped),
+            knee + slope * (rho - cap),
+        )
+        if out.ndim == 0:
+            return float(out)
+        return out
 
     def memory_latency_cycles(
-        self, hops: int, rho_controller: float, rho_link: float = 0.0
-    ) -> float:
-        """Latency in cycles of one memory access.
+        self, hops, rho_controller: Rho, rho_link: Rho = 0.0
+    ) -> Rho:
+        """Latency in cycles of one memory access (scalar or ndarray).
 
         Args:
             hops: interconnect hops between the issuing CPU's node and the
@@ -99,28 +120,34 @@ class LatencyModel:
             rho_link: max utilisation along the route's links (ignored for
                 local accesses).
         """
-        idx = min(hops, len(self.base_cycles) - 1)
-        base = self.base_cycles[idx]
-        if hops == 0:
-            congestion = rho_controller
-        else:
-            # The request queues wherever the path is most congested; links
-            # throttle traffic before it reaches the controller.
-            congestion = max(rho_controller, rho_link)
-        return base + self._coeffs[idx] * self.queueing(congestion)
+        hops = np.asarray(hops)
+        idx = np.minimum(hops, len(self.base_cycles) - 1)
+        base = self._base_arr[idx]
+        coeff = self._coeff_arr[idx]
+        # The request queues wherever the path is most congested; links
+        # throttle traffic before it reaches the controller.
+        congestion = np.where(
+            hops == 0,
+            rho_controller,
+            np.maximum(rho_controller, rho_link),
+        )
+        out = base + coeff * self.queueing(congestion)
+        if np.ndim(out) == 0:
+            return float(out)
+        return out
 
     def memory_latency_seconds(
-        self, hops: int, rho_controller: float, rho_link: float = 0.0
-    ) -> float:
+        self, hops, rho_controller: Rho, rho_link: Rho = 0.0
+    ) -> Rho:
         """Same as :meth:`memory_latency_cycles`, in seconds."""
         return self.cycles_to_seconds(
             self.memory_latency_cycles(hops, rho_controller, rho_link)
         )
 
-    def cycles_to_seconds(self, cycles: float) -> float:
+    def cycles_to_seconds(self, cycles: Rho) -> Rho:
         """Convert CPU cycles to seconds at the model's frequency."""
         return cycles / (self.freq_ghz * 1e9)
 
-    def seconds_to_cycles(self, seconds: float) -> float:
+    def seconds_to_cycles(self, seconds: Rho) -> Rho:
         """Convert seconds to CPU cycles at the model's frequency."""
         return seconds * self.freq_ghz * 1e9

@@ -14,6 +14,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import TopologyError
 
 NodeId = int
@@ -169,6 +171,24 @@ class NumaTopology:
             [self.hops(s, d) for d in range(self.num_nodes)]
             for s in range(self.num_nodes)
         ]
+
+    def route_link_matrix(self) -> np.ndarray:
+        """The routing tables as a dense 0/1 matrix.
+
+        ``R[src * num_nodes + dst, i]`` is 1.0 iff :meth:`route`
+        ``(src, dst)`` traverses ``links[i]`` (link order is that of the
+        :attr:`links` tuple). Local routes are all-zero rows. This is the
+        export the congestion solver turns into matrix products: per-link
+        traffic is ``flat_access_matrix @ R`` and the max utilisation along
+        a route is a masked row-max — no per-(src, dst) Python loops.
+        """
+        link_index = {link.key: i for i, link in enumerate(self.links)}
+        matrix = np.zeros((self.num_nodes * self.num_nodes, len(link_index)))
+        for (src, dst), route in self._routes.items():
+            row = src * self.num_nodes + dst
+            for link in route:
+                matrix[row, link_index[link.key]] = 1.0
+        return matrix
 
     # ------------------------------------------------------------------
     # Internals

@@ -78,16 +78,30 @@ class HypercallTable:
         self.stats: Dict[Hypercall, Tuple[int, float]] = {
             call: (0, 0.0) for call in Hypercall
         }
-        self._handlers[Hypercall.EMPTY] = lambda dom, vcpu, args: None
+        self._default_empty: Handler = lambda dom, vcpu, args: None
+        self._handlers[Hypercall.EMPTY] = self._default_empty
 
     def register(self, call: Hypercall, handler: Handler) -> None:
-        """Install ``handler`` for ``call`` (one handler per number)."""
-        if call in self._handlers and call is not Hypercall.EMPTY:
+        """Install ``handler`` for ``call`` (one handler per number).
+
+        The built-in EMPTY measurement stub may be replaced once; any
+        further registration — EMPTY included — raises, so a component
+        cannot silently overwrite another's handler.
+        """
+        current = self._handlers.get(call)
+        replacing_default_empty = (
+            call is Hypercall.EMPTY and current is self._default_empty
+        )
+        if current is not None and not replacing_default_empty:
             raise HypercallError(f"handler already registered for {call.name}")
         self._handlers[call] = handler
 
     def dispatch(self, call: Hypercall, domain_id: int, vcpu_id: int, args: Any = None) -> Any:
         """Execute a hypercall; returns the handler's result.
+
+        A handler that raises still cost the guest an exit: at least
+        ``base_seconds`` is charged to ``stats`` before the exception
+        propagates (the batching experiment reads this accounting).
 
         Raises:
             HypercallError: unknown hypercall number.
@@ -95,10 +109,13 @@ class HypercallTable:
         handler = self._handlers.get(call)
         if handler is None:
             raise HypercallError(f"no handler for hypercall {call.name}")
-        result = handler(domain_id, vcpu_id, args)
-        cost = self._cost_of(call, args)
-        count, seconds = self.stats[call]
-        self.stats[call] = (count + 1, seconds + cost)
+        cost = self.costs.base_seconds
+        try:
+            result = handler(domain_id, vcpu_id, args)
+            cost = self._cost_of(call, args)
+        finally:
+            count, seconds = self.stats[call]
+            self.stats[call] = (count + 1, seconds + cost)
         return result
 
     def cost_of_call(self, call: Hypercall, args: Any = None) -> float:

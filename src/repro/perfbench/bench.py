@@ -1,0 +1,127 @@
+"""Timeit-based measurement of the engine and the solver hot path.
+
+Every measurement here is wall-clock-free in *our* code: timing is
+delegated to :class:`timeit.Timer`, worlds are rebuilt from a seeded
+config for every sample, and the microbenchmark's access matrix comes
+from a generator seeded by ``SimConfig.rng_seed``.
+"""
+
+from __future__ import annotations
+
+import timeit
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.config import SimConfig
+from repro.hardware.presets import amd48
+from repro.perfbench import oracle
+from repro.perfbench.worlds import WORLD_PRESETS, build_world
+from repro.sim.engine import CongestionSolver, run_world
+
+#: timeit repetitions per world preset.
+DEFAULT_REPEAT = 5
+#: Solver (congestion + latency_matrix) invocations per microbench sample.
+DEFAULT_SOLVER_ITERATIONS = 200
+#: Mean access-matrix entry of the microbenchmark (accesses per epoch
+#: between one node pair — enough to load controllers and links).
+MICROBENCH_TRAFFIC = 3e7
+
+
+def _spread(samples: List[float]) -> Dict[str, float]:
+    return {
+        "median_seconds": float(np.median(samples)),
+        "iqr_seconds": float(
+            np.percentile(samples, 75) - np.percentile(samples, 25)
+        ),
+        "min_seconds": float(np.min(samples)),
+    }
+
+
+def bench_world(
+    preset: str, config: SimConfig, repeat: int = DEFAULT_REPEAT
+) -> Dict[str, float]:
+    """Time ``run_world`` on a preset; returns median/IQR/epochs-per-s.
+
+    A fresh world is built (untimed) for every sample so each timing
+    covers exactly one full simulation of identical work.
+    """
+    samples: List[float] = []
+    epochs = 0
+    for _ in range(max(1, repeat)):
+        world = build_world(preset, config)
+        holder: Dict[str, object] = {}
+
+        def timed() -> None:
+            holder["results"] = run_world(world)
+
+        samples.append(timeit.Timer(timed).timeit(number=1))
+        epochs = max(r.epochs for r in holder["results"])
+    stats = _spread(samples)
+    stats["epochs"] = float(epochs)
+    stats["epochs_per_second"] = epochs / stats["median_seconds"]
+    return stats
+
+
+def bench_solver(
+    config: SimConfig,
+    repeat: int = DEFAULT_REPEAT,
+    iterations: int = DEFAULT_SOLVER_ITERATIONS,
+) -> Dict[str, float]:
+    """Microbenchmark the 8-node solve loop against the loop oracle.
+
+    One iteration is one ``congestion()`` + ``latency_matrix()`` pass over
+    a seeded random access matrix on the AMD48 machine — the exact work
+    the engine performs per fixed-point round.
+    """
+    machine = amd48(config=config)
+    solver = CongestionSolver(machine)
+    rng = np.random.default_rng(config.rng_seed)
+    n = machine.num_nodes
+    matrix = rng.uniform(0.0, MICROBENCH_TRAFFIC, size=(n, n))
+
+    def vectorized() -> None:
+        rho_c, rho_l = solver.congestion(matrix, 1.0)
+        solver.latency_matrix(rho_c, rho_l)
+
+    def loop() -> None:
+        rho_c, rho_l = oracle.loop_congestion(solver, matrix, 1.0)
+        oracle.loop_latency_matrix(solver, rho_c, rho_l)
+
+    vec_s = min(
+        timeit.Timer(vectorized).repeat(repeat=max(1, repeat), number=iterations)
+    )
+    loop_s = min(
+        timeit.Timer(loop).repeat(repeat=max(1, repeat), number=iterations)
+    )
+    return {
+        "iterations": float(iterations),
+        "vectorized_seconds": vec_s,
+        "loop_seconds": loop_s,
+        "speedup": loop_s / vec_s if vec_s else float("inf"),
+    }
+
+
+def run_benchmarks(
+    label: str,
+    config: Optional[SimConfig] = None,
+    repeat: int = DEFAULT_REPEAT,
+    worlds: Optional[Iterable[str]] = None,
+    solver_iterations: int = DEFAULT_SOLVER_ITERATIONS,
+) -> Dict[str, object]:
+    """Run the full suite; returns the ``BENCH_<label>.json`` payload."""
+    config = config or SimConfig()
+    selected = list(worlds) if worlds is not None else sorted(WORLD_PRESETS)
+    payload: Dict[str, object] = {
+        "label": label,
+        "seed": config.rng_seed,
+        "repeat": repeat,
+        "worlds": {
+            preset: bench_world(preset, config, repeat=repeat)
+            for preset in selected
+        },
+        "solver_microbench": bench_solver(
+            config, repeat=repeat, iterations=solver_iterations
+        ),
+    }
+    return payload

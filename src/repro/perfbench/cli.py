@@ -1,0 +1,148 @@
+"""``python -m repro.perfbench`` — run the perf suite, write BENCH JSON.
+
+Examples::
+
+    python -m repro.perfbench --label pr
+    python -m repro.perfbench --label pr --baseline benchmarks/perf/baseline.json
+    python -m repro.perfbench --label quick --worlds small --repeat 2
+
+To refresh the committed reference::
+
+    python -m repro.perfbench --label baseline --output-dir benchmarks/perf
+    mv benchmarks/perf/BENCH_baseline.json benchmarks/perf/baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.config import SimConfig
+from repro.perfbench.bench import (
+    DEFAULT_REPEAT,
+    DEFAULT_SOLVER_ITERATIONS,
+    run_benchmarks,
+)
+from repro.perfbench.worlds import WORLD_PRESETS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perfbench",
+        description="Benchmark run_world and the congestion-solver hot path.",
+    )
+    parser.add_argument(
+        "--label",
+        default="local",
+        help="suffix of the output file BENCH_<label>.json (default: local)",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=DEFAULT_REPEAT,
+        help=f"timeit repetitions per preset (default: {DEFAULT_REPEAT})",
+    )
+    parser.add_argument(
+        "--worlds",
+        nargs="+",
+        choices=sorted(WORLD_PRESETS),
+        default=None,
+        help="world presets to time (default: all)",
+    )
+    parser.add_argument(
+        "--solver-iterations",
+        type=int,
+        default=DEFAULT_SOLVER_ITERATIONS,
+        help="solver passes per microbench sample "
+        f"(default: {DEFAULT_SOLVER_ITERATIONS})",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=SimConfig().rng_seed,
+        help="rng seed for the benchmark worlds (default: SimConfig default)",
+    )
+    parser.add_argument(
+        "--output-dir",
+        default=".",
+        help="directory receiving BENCH_<label>.json (default: cwd)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline BENCH json to print a delta against",
+    )
+    return parser
+
+
+def _print_report(payload: dict, out) -> None:
+    print(f"perfbench [{payload['label']}] seed={payload['seed']}", file=out)
+    for preset, stats in payload["worlds"].items():
+        print(
+            f"  {preset:>7s}: median {stats['median_seconds']:.3f}s "
+            f"(IQR {stats['iqr_seconds']:.3f}s), "
+            f"{stats['epochs']:.0f} epochs, "
+            f"{stats['epochs_per_second']:.1f} epochs/s",
+            file=out,
+        )
+    micro = payload["solver_microbench"]
+    print(
+        f"  solver : vectorized {micro['vectorized_seconds']:.4f}s vs "
+        f"loop {micro['loop_seconds']:.4f}s over "
+        f"{micro['iterations']:.0f} iterations -> "
+        f"{micro['speedup']:.1f}x",
+        file=out,
+    )
+
+
+def _print_delta(payload: dict, baseline: dict, out) -> None:
+    print(f"delta vs baseline [{baseline.get('label', '?')}]:", file=out)
+    base_worlds = baseline.get("worlds", {})
+    for preset, stats in payload["worlds"].items():
+        ref = base_worlds.get(preset)
+        if not ref:
+            print(f"  {preset:>7s}: (not in baseline)", file=out)
+            continue
+        ratio = stats["median_seconds"] / ref["median_seconds"]
+        print(
+            f"  {preset:>7s}: {ratio:6.2f}x baseline median "
+            f"({stats['median_seconds']:.3f}s vs {ref['median_seconds']:.3f}s)",
+            file=out,
+        )
+    ref_micro = baseline.get("solver_microbench")
+    if ref_micro:
+        micro = payload["solver_microbench"]
+        print(
+            f"  solver : speedup {micro['speedup']:.1f}x "
+            f"(baseline {ref_micro['speedup']:.1f}x)",
+            file=out,
+        )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    config = SimConfig(rng_seed=args.seed)
+    payload = run_benchmarks(
+        label=args.label,
+        config=config,
+        repeat=args.repeat,
+        worlds=args.worlds,
+        solver_iterations=args.solver_iterations,
+    )
+    out_dir = Path(args.output_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = out_dir / f"BENCH_{args.label}.json"
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    _print_report(payload, sys.stdout)
+    print(f"wrote {out_path}", file=sys.stdout)
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        if baseline_path.exists():
+            baseline = json.loads(baseline_path.read_text())
+            _print_delta(payload, baseline, sys.stdout)
+        else:
+            print(f"baseline {baseline_path} not found; skipping delta")
+    return 0

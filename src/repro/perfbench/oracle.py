@@ -1,0 +1,59 @@
+"""The pre-vectorization congestion-solver loops, kept as the oracle.
+
+These are the original O(n^2) per-(src, dst) Python loops that
+:class:`repro.sim.engine.CongestionSolver` replaced with matrix products.
+They are committed verbatim for two consumers: the solver microbenchmark
+(the ``>= 3x`` speedup every perf PR demonstrates is measured against
+them) and the equivalence property tests in ``tests/sim``. Do not
+optimise them — their value is being slow and obviously correct.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.hardware.counters import CACHE_LINE_BYTES
+from repro.sim.engine import CongestionSolver
+
+
+def loop_congestion(
+    solver: CongestionSolver, matrix: np.ndarray, seconds: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """:meth:`CongestionSolver.congestion` as the original Python loop."""
+    col_bytes = matrix.sum(axis=0) * CACHE_LINE_BYTES
+    rho_c = col_bytes / (solver.controller_bw * seconds)
+    link_bytes = np.zeros(len(solver.link_bw))
+    for s in range(solver.num_nodes):
+        for d in range(solver.num_nodes):
+            if s == d:
+                continue
+            traffic = matrix[s, d] * CACHE_LINE_BYTES
+            if traffic == 0:
+                continue
+            for li in solver.route_links[(s, d)]:
+                link_bytes[li] += traffic
+    rho_l = link_bytes / (solver.link_bw * seconds)
+    return rho_c, rho_l
+
+
+def loop_latency_matrix(
+    solver: CongestionSolver, rho_c: np.ndarray, rho_l: np.ndarray
+) -> np.ndarray:
+    """:meth:`CongestionSolver.latency_matrix` as the original loop."""
+    model = solver.machine.latency
+    burst = solver.machine.config.traffic_burstiness
+    n = solver.num_nodes
+    out = np.zeros((n, n))
+    for s in range(n):
+        for d in range(n):
+            route = solver.route_links[(s, d)]
+            link_rho = max((rho_l[li] for li in route), default=0.0)
+            cycles = model.memory_latency_cycles(
+                int(solver.hops[s, d]),
+                float(rho_c[d]) * burst,
+                float(link_rho) * burst,
+            )
+            out[s, d] = model.cycles_to_seconds(cycles)
+    return out

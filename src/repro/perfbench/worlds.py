@@ -1,0 +1,111 @@
+"""Benchmark world presets: small / medium / large Xen worlds.
+
+Each preset builds a fresh, fully deterministic world (seeded from the
+given :class:`~repro.config.SimConfig`) so repeated timings measure the
+same work. Sizes follow the paper's setups: single-VM worlds on cut-down
+machines for *small*/*medium*, and the AMD48 machine with two colocated
+VMs — the consolidated configuration — for *large*.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.config import SimConfig
+from repro.core.policies.base import PolicyName, PolicySpec
+from repro.hardware.machine import Machine
+from repro.hardware.presets import amd48, small_machine
+from repro.sim.environment import VmSpec, World, XenEnvironment
+from repro.workloads.app import AppSpec
+from repro.workloads.suite import get_app
+
+#: Simulated frames per node for the cut-down machines: 16 GiB per node
+#: at the default page scale, enough for a realistically sized guest.
+BENCH_FRAMES_PER_NODE = 16384
+
+
+def _bench_app(name: str, baseline_seconds: float) -> AppSpec:
+    """A shortened copy of a suite application for repeatable timing."""
+    return dataclasses.replace(
+        get_app(name), baseline_seconds=baseline_seconds
+    )
+
+
+def _small_factory(config: SimConfig, num_nodes: int, cpus_per_node: int):
+    def factory() -> Machine:
+        return small_machine(
+            num_nodes=num_nodes,
+            cpus_per_node=cpus_per_node,
+            frames_per_node=BENCH_FRAMES_PER_NODE,
+            config=config,
+        )
+
+    return factory
+
+
+def _build_small(config: SimConfig) -> World:
+    """2 nodes, 1 VM, 4 vCPUs."""
+    env = XenEnvironment(
+        config=config, machine_factory=_small_factory(config, 2, 2)
+    )
+    spec = VmSpec(
+        app=_bench_app("swaptions", 8.0),
+        policy=PolicySpec(PolicyName.ROUND_4K),
+    )
+    return env.setup([spec])
+
+
+def _build_medium(config: SimConfig) -> World:
+    """4 nodes, 1 VM, 16 vCPUs."""
+    env = XenEnvironment(
+        config=config, machine_factory=_small_factory(config, 4, 4)
+    )
+    spec = VmSpec(
+        app=_bench_app("facesim", 8.0),
+        policy=PolicySpec(PolicyName.ROUND_4K),
+    )
+    return env.setup([spec])
+
+
+def _build_large(config: SimConfig) -> World:
+    """8 nodes (AMD48), 2 VMs pinned to machine halves."""
+    env = XenEnvironment(
+        config=config, machine_factory=lambda: amd48(config=config)
+    )
+    specs: List[VmSpec] = [
+        VmSpec(
+            app=_bench_app("cg.C", 8.0),
+            policy=PolicySpec(PolicyName.ROUND_4K),
+            num_vcpus=24,
+            home_nodes=[0, 1, 2, 3],
+            pin_pcpus=list(range(24)),
+        ),
+        VmSpec(
+            app=_bench_app("sp.C", 8.0),
+            policy=PolicySpec(PolicyName.ROUND_4K),
+            num_vcpus=24,
+            home_nodes=[4, 5, 6, 7],
+            pin_pcpus=list(range(24, 48)),
+        ),
+    ]
+    return env.setup(specs)
+
+
+WORLD_PRESETS: Dict[str, object] = {
+    "small": _build_small,
+    "medium": _build_medium,
+    "large": _build_large,
+}
+
+
+def build_world(preset: str, config: SimConfig) -> World:
+    """Build a fresh world for ``preset`` ("small", "medium", "large")."""
+    try:
+        builder = WORLD_PRESETS[preset]
+    except KeyError:
+        raise ValueError(
+            f"unknown bench preset {preset!r}; "
+            f"choose from {sorted(WORLD_PRESETS)}"
+        ) from None
+    return builder(config)

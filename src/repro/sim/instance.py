@@ -168,6 +168,9 @@ class AppRun:
         self.init_seconds = 0.0
         self.completion_seconds: Optional[float] = None
         self._churn_cursor = 0
+        self._dest_cache: Optional[
+            Tuple[tuple, Tuple[np.ndarray, np.ndarray, np.ndarray]]
+        ] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -206,11 +209,24 @@ class AppRun:
     def destination_matrix(self, num_nodes: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Per-thread destination distributions.
 
+        The result is cached and recomputed only when an input actually
+        changed: a segment placement mutated (churn, policy migration,
+        release) or a thread moved node or finished. Steady-state epochs —
+        no churn, static policy — reuse the cached arrays; callers must
+        treat them as read-only.
+
         Returns:
             (D, src_nodes, active): D[t] is thread t's access distribution
             over destination nodes, src_nodes[t] its node, active[t]
             whether it still runs.
         """
+        key = (
+            num_nodes,
+            tuple(s.placement.version for s in self.segments),
+            tuple((t.node, t.finished) for t in self.threads),
+        )
+        if self._dest_cache is not None and self._dest_cache[0] == key:
+            return self._dest_cache[1]
         share = self.app.master_share
         shared_dist = np.zeros(num_nodes)
         total_shared_weight = sum(
@@ -236,6 +252,7 @@ class AppRun:
                 else shared_dist
             )
             D[t.tid] = share * shared_dist + (1.0 - share) * pdist
+        self._dest_cache = (key, (D, src, active))
         return D, src, active
 
     def commit_work(
@@ -302,7 +319,14 @@ class AppRun:
         epoch_seconds: float,
         ops_by_node: np.ndarray,
     ) -> EpochObservation:
-        """Assemble what the hardware counters would show for this app."""
+        """Assemble what the hardware counters would show for this app.
+
+        ``controller_rho`` and ``max_link_rho`` are the *world-total*
+        utilisations — the congestion this run experiences, shared with
+        every co-located run — while ``access_matrix`` is this run's own
+        traffic. The engine separately archives the run's private link
+        *contribution* in its :class:`~repro.sim.results.EpochRecord`.
+        """
         hot_pages: List[HotPageSample] = []
         if self.context.policy_is_dynamic:
             hot_pages = self._sample_hot_pages(ops_by_node)

@@ -33,6 +33,9 @@ class SegmentPlacement:
         self.num_nodes = num_nodes
         self.nodes = np.full(num_pages, -1, dtype=np.int32)
         self.counts = np.zeros(num_nodes, dtype=np.int64)
+        #: Bumped on every mutation — the cache-invalidation token for
+        #: views derived from this placement (AppRun.destination_matrix).
+        self.version = 0
 
     def place(self, idx: int, node: int) -> None:
         """Record that page ``idx`` now lives on ``node``."""
@@ -41,6 +44,7 @@ class SegmentPlacement:
             self.counts[old] -= 1
         self.nodes[idx] = node
         self.counts[node] += 1
+        self.version += 1
 
     def release(self, idx: int) -> None:
         """Record that page ``idx`` lost its backing frame."""
@@ -48,6 +52,7 @@ class SegmentPlacement:
         if old >= 0:
             self.counts[old] -= 1
             self.nodes[idx] = -1
+            self.version += 1
 
     @property
     def mapped_pages(self) -> int:

@@ -16,7 +16,10 @@ class EpochRecord:
         epoch: index.
         ops_done: operations completed this epoch (all threads).
         imbalance: relative std-dev of the app's per-node access counts.
-        max_link_rho: utilisation of the app's most loaded link.
+        max_link_rho: utilisation of the app's most loaded link counting
+            *only this run's* traffic (its contribution, the Table 1
+            metric) — not the world total the run experiences, which the
+            engine hands to policies via the epoch observation instead.
         local_fraction: node-local share of the app's accesses.
         policy_cost_seconds: overhead charged by the dynamic policy.
         migrations: pages moved by the dynamic policy this epoch.

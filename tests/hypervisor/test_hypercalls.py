@@ -45,6 +45,45 @@ class TestDispatch:
         assert table.stats[Hypercall.EMPTY] == (0, 0.0)
 
 
+class TestFailureAccounting:
+    def test_raising_handler_still_charged_base_cost(self, table):
+        """A guest pays for the trap even when the handler fails — the
+        entry/exit happened regardless."""
+
+        def boom(domain_id, vcpu_id, args):
+            raise RuntimeError("handler exploded")
+
+        table.register(Hypercall.NUMA_SET_POLICY, boom)
+        with pytest.raises(RuntimeError, match="handler exploded"):
+            table.dispatch(Hypercall.NUMA_SET_POLICY, 1, 0)
+        count, seconds = table.stats[Hypercall.NUMA_SET_POLICY]
+        assert count == 1
+        assert seconds == pytest.approx(table.costs.base_seconds)
+
+    def test_failed_payload_call_charged_base_not_payload(self, table):
+        """The payload cost model only applies to completed calls."""
+
+        def boom(domain_id, vcpu_id, args):
+            raise ValueError("bad batch")
+
+        table.register(Hypercall.NUMA_PAGE_EVENTS, boom)
+        with pytest.raises(ValueError):
+            table.dispatch(Hypercall.NUMA_PAGE_EVENTS, 1, 0, list(range(64)))
+        _, seconds = table.stats[Hypercall.NUMA_PAGE_EVENTS]
+        assert seconds == pytest.approx(table.costs.base_seconds)
+
+
+class TestEmptyOverride:
+    def test_default_empty_replaceable_once(self, table):
+        table.register(Hypercall.EMPTY, lambda d, v, a: "probe")
+        assert table.dispatch(Hypercall.EMPTY, 1, 0) == "probe"
+
+    def test_second_empty_registration_rejected(self, table):
+        table.register(Hypercall.EMPTY, lambda d, v, a: "probe")
+        with pytest.raises(HypercallError):
+            table.register(Hypercall.EMPTY, lambda d, v, a: "again")
+
+
 class TestCostModel:
     def test_flush_cost_grows_with_events(self):
         costs = HypercallCostModel()

@@ -1,0 +1,105 @@
+"""Per-run engine accounting: truncation identity, congestion scopes,
+destination-matrix caching."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import CongestionSolver, run_apps, run_world
+from repro.sim.environment import LinuxEnvironment
+from repro.workloads.suite import get_app
+
+from tests.conftest import fast_app
+
+
+class TestTruncationIdentity:
+    def test_same_named_runs_truncate_independently(self):
+        """The paper's 2-VM setups run the same app twice; one run timing
+        out must not mark its finished twin truncated. The slow run comes
+        *first* so a name-keyed truncation set would poison the second."""
+        base = get_app("swaptions")
+        slow = dataclasses.replace(base, baseline_seconds=500.0)
+        quick = dataclasses.replace(base, baseline_seconds=2.0)
+        results = run_apps(
+            LinuxEnvironment(policy="round-4k"), [slow, quick], max_epochs=40
+        )
+        assert results[0].app == results[1].app
+        assert results[0].stats["truncated"] == 1.0
+        assert results[1].stats["truncated"] == 0.0
+
+
+class TestCongestionScopes:
+    def test_observation_sees_total_record_stores_contribution(self):
+        """Policies observe the *world-total* utilisations (what hardware
+        counters show: experienced congestion); the run's EpochRecord
+        archives only its own link contribution (the Table 1 metric)."""
+        a = fast_app(get_app("cg.C"), baseline_seconds=4.0)
+        b = fast_app(get_app("sp.C"), baseline_seconds=4.0)
+        env = LinuxEnvironment(policy="round-4k")
+        world = env.setup([a, b])
+        captured = []
+        for run in world.runs:
+            original = run.build_observation
+
+            def spy(_orig=original, _run=run, **kwargs):
+                captured.append((_run, kwargs))
+                return _orig(**kwargs)
+
+            run.build_observation = spy
+        solver = CongestionSolver(world.machine)
+        results = run_world(world, max_epochs=1)
+
+        assert len(captured) == 2
+        total = captured[0][1]["access_matrix"] + captured[1][1]["access_matrix"]
+        exp_c, exp_l = solver.congestion(total, world.epoch_seconds)
+        for (run, kwargs), result in zip(captured, results):
+            assert run.app.name == result.app
+            # Observation: world totals, identical for both runs.
+            np.testing.assert_allclose(
+                kwargs["controller_rho"], exp_c, rtol=1e-12
+            )
+            assert kwargs["max_link_rho"] == pytest.approx(
+                float(exp_l.max()), rel=1e-12
+            )
+            # Record: this run's own contribution only.
+            own_l = solver.congestion(
+                kwargs["access_matrix"], world.epoch_seconds
+            )[1]
+            assert result.records[0].max_link_rho == pytest.approx(
+                float(own_l.max()), rel=1e-12
+            )
+            assert (
+                result.records[0].max_link_rho
+                <= kwargs["max_link_rho"] + 1e-15
+            )
+
+
+class TestDestinationMatrixCache:
+    def _initialized_run(self):
+        app = fast_app(get_app("swaptions"), baseline_seconds=2.0)
+        world = LinuxEnvironment(policy="round-4k").setup([app])
+        run = world.runs[0]
+        run.initialize()
+        return run, world.machine.num_nodes
+
+    def test_cache_reused_while_placement_stable(self):
+        run, n = self._initialized_run()
+        first = run.destination_matrix(n)
+        second = run.destination_matrix(n)
+        assert all(x is y for x, y in zip(first, second))
+
+    def test_placement_mutation_invalidates(self):
+        run, n = self._initialized_run()
+        first = run.destination_matrix(n)
+        run.segments[0].placement.place(0, n - 1)
+        second = run.destination_matrix(n)
+        assert second[0] is not first[0]
+
+    def test_thread_state_change_invalidates(self):
+        run, n = self._initialized_run()
+        first = run.destination_matrix(n)
+        run.threads[0].finish_time = 0.5
+        second = run.destination_matrix(n)
+        assert second[2] is not first[2]
+        assert not second[2][0]
