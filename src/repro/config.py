@@ -47,6 +47,23 @@ class SimConfig:
     #: :func:`repro.lint.sanitizer.enable`.
     sanitize_p2m: bool = False
 
+    def result_fields(self) -> dict:
+        """The fields that can change simulation *results*, as a dict.
+
+        This is the configuration part of a run's cache identity
+        (:meth:`repro.sim.runspec.RunRequest.cache_key`). ``sanitize_p2m``
+        is deliberately excluded: the sanitizer only checks invariants —
+        it either raises or leaves every number untouched — so toggling it
+        must not invalidate stored runs.
+        """
+        return {
+            "page_scale": self.page_scale,
+            "epoch_seconds": self.epoch_seconds,
+            "rng_seed": self.rng_seed,
+            "traffic_burstiness": self.traffic_burstiness,
+            "model_tlb": self.model_tlb,
+        }
+
     @property
     def page_bytes(self) -> int:
         """Bytes covered by one simulated page."""

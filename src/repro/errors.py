@@ -62,3 +62,22 @@ class SchedulerError(ReproError):
 
 class WorkloadError(ReproError):
     """Unknown application or invalid workload parameters."""
+
+
+class RunSpecError(ReproError):
+    """A declarative run request is malformed.
+
+    Raised when a :class:`repro.sim.runspec.RunRequest` names an unknown
+    environment or policy, combines options the evaluation never runs
+    (Carrefour on round-1G, MCS locks in a domU request), or cannot be
+    reconstructed from its serialized form.
+    """
+
+
+class ExperimentError(ReproError):
+    """An experiment was invoked with arguments it does not support.
+
+    The scenario registry uses this to keep experiment signatures honest:
+    a scenario that does not run per-application sweeps (Figure 5, the
+    microbenchmarks) rejects an ``apps`` restriction instead of silently
+    ignoring it."""

@@ -1,12 +1,29 @@
-"""Command-line entry point: ``python -m repro.experiments <name> [apps...]``."""
+"""Command-line entry point for the experiment pipeline.
+
+Two forms::
+
+    python -m repro.experiments run fig2 fig6 --jobs 8 --store .runstore
+    python -m repro.experiments <name> [app ...]     # legacy direct form
+
+plus ``list`` (describe every scenario) and ``report`` (regenerate
+EXPERIMENTS.md). The ``run`` form resolves the scenarios' declared
+requests through one shared store — duplicates across scenarios execute
+once — and prints the store/runner counters at the end, so a second
+invocation against an on-disk ``--store`` shows the hits.
+"""
 
 from __future__ import annotations
 
+import argparse
 import sys
-from typing import Callable, Dict
+from contextlib import ExitStack
+from typing import Callable, Dict, List, Optional
 
+from repro.config import SimConfig
+from repro.errors import ReproError
 from repro.experiments import (
     batching,
+    common,
     fig1,
     fig2,
     fig5,
@@ -16,11 +33,14 @@ from repro.experiments import (
     fig9,
     fig10,
     io_micro,
+    registry,
     table1,
     table2,
     table3,
     table4,
 )
+from repro.runner import Runner
+from repro.runstore import open_store
 
 EXPERIMENTS: Dict[str, Callable] = {
     "fig1": fig1.run,
@@ -39,26 +59,109 @@ EXPERIMENTS: Dict[str, Callable] = {
     "batching": batching.run,
 }
 
+USAGE = """\
+usage: python -m repro.experiments <command>
+
+commands:
+  list                         describe every scenario (runs, reuse)
+  run <name ...|all> [options] resolve scenarios through one shared store
+                               options: --jobs N  --store DIR  --apps a,b
+                                        --page-scale N  --quiet
+  report [output.md]           regenerate the EXPERIMENTS.md report
+  <name> [app ...]             legacy form: one experiment, default store
+
+scenario names: {names}
+"""
+
+
+def _usage() -> str:
+    return USAGE.format(names=", ".join(EXPERIMENTS))
+
+
+def _list_command() -> int:
+    registry.load_all()
+    for scenario in registry.all_scenarios():
+        runs = len(scenario.required_runs())
+        reuse = f" (includes {', '.join(scenario.reuses)})" if scenario.reuses else ""
+        print(f"{scenario.name:10s} {runs:4d} runs{reuse:24s} {scenario.description}")
+    return 0
+
+
+def _run_command(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments run",
+        description="Resolve one or more scenarios through a shared run store.",
+    )
+    parser.add_argument("names", nargs="+", help="scenario names, or 'all'")
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for cache misses (default: serial)",
+    )
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="on-disk run store directory ('memory' or omitted: in-memory)",
+    )
+    parser.add_argument(
+        "--apps", default=None, metavar="A,B,...",
+        help="comma-separated application subset",
+    )
+    parser.add_argument(
+        "--page-scale", type=int, default=None, metavar="N",
+        help="override SimConfig.page_scale (larger = coarser and faster)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the per-scenario tables"
+    )
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return int(exc.code or 0)
+    apps: Optional[List[str]] = args.apps.split(",") if args.apps else None
+    names = registry.scenario_names() if args.names == ["all"] else args.names
+    runner = Runner(store=open_store(args.store), jobs=args.jobs)
+    with ExitStack() as stack:
+        if args.page_scale is not None:
+            stack.enter_context(common.configured(SimConfig(page_scale=args.page_scale)))
+        for name in names:
+            scenario = registry.get_scenario(name)
+            if not args.quiet:
+                print(f"\n######## {scenario.name} ########\n")
+            scenario.run(apps=apps, verbose=not args.quiet, runner=runner)
+    print(runner.summary())
+    return 0
+
 
 def main(argv=None) -> int:
     argv = argv if argv is not None else sys.argv[1:]
     if not argv or argv[0] in ("-h", "--help"):
-        names = ", ".join(EXPERIMENTS)
-        print(f"usage: python -m repro.experiments <{names}|all> [app ...]")
+        print(_usage())
         return 0
-    name = argv[0]
-    apps = argv[1:] or None
-    if name == "all":
-        for key, runner in EXPERIMENTS.items():
-            print(f"\n######## {key} ########\n")
-            runner(apps=apps)
+    command = argv[0]
+    try:
+        if command == "list":
+            return _list_command()
+        if command == "run":
+            return _run_command(argv[1:])
+        if command == "report":
+            from repro.experiments import report
+
+            return report.main(argv[1:])
+        # Legacy form: one experiment through the process-default store.
+        apps = argv[1:] or None
+        if command == "all":
+            for key, runner in EXPERIMENTS.items():
+                print(f"\n######## {key} ########\n")
+                runner(apps=apps)
+            return 0
+        runner = EXPERIMENTS.get(command)
+        if runner is None:
+            print(f"unknown experiment {command!r}; known: {', '.join(EXPERIMENTS)}")
+            return 1
+        runner(apps=apps)
         return 0
-    runner = EXPERIMENTS.get(name)
-    if runner is None:
-        print(f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 1
-    runner(apps=apps)
-    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

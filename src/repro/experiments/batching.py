@@ -13,17 +13,18 @@ Three claims to reproduce:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
 
 from repro.analysis.tables import format_table
 from repro.core.page_queue import lock_service_slowdown
 from repro.core.policies.base import PolicyName, PolicySpec
 from repro.experiments import common
+from repro.experiments.registry import Scenario, register
 from repro.hypervisor.hypercalls import HypercallCostModel
-from repro.sim.engine import run_app
-from repro.sim.environment import VmSpec, XenEnvironment
-from repro.workloads.suite import WRMEM_CHURN, get_app
+from repro.runner import ResultSet, Runner
+from repro.sim.runspec import RunRequest
+from repro.workloads.suite import WRMEM_CHURN
 
 
 @dataclass
@@ -41,16 +42,28 @@ class BatchingResult:
         return self.wrmem_unbatched_seconds / self.wrmem_batched_seconds
 
 
-def run(apps: Optional[Sequence[str]] = None, verbose: bool = True) -> BatchingResult:
-    """Regenerate the batching microbenchmarks (``apps`` ignored)."""
-    app = get_app("wrmem")
-    policy = PolicySpec(PolicyName.ROUND_4K)
-    config = common.default_config()
+def _batched_request() -> RunRequest:
+    return common.xen_request("wrmem", PolicySpec(PolicyName.ROUND_4K))
 
-    batched_env = XenEnvironment(config=config)
-    batched = run_app(batched_env, VmSpec(app=app, policy=policy))
-    unbatched_env = XenEnvironment(config=config, unbatched_hypercalls=True)
-    unbatched = run_app(unbatched_env, VmSpec(app=app, policy=policy))
+
+def _unbatched_request() -> RunRequest:
+    # Same run with the strawman flag: one hypercall per page release.
+    return replace(_batched_request(), unbatched_hypercalls=True)
+
+
+def required_runs(apps: Optional[Sequence[str]] = None) -> List[RunRequest]:
+    """wrmem under batched queues and under the hypercall-per-release mode."""
+    return [_batched_request(), _unbatched_request()]
+
+
+def assemble(
+    results: ResultSet,
+    apps: Optional[Sequence[str]] = None,
+    verbose: bool = False,
+) -> BatchingResult:
+    """Build the batching result from resolved runs (``apps`` ignored)."""
+    batched = results.one(_batched_request())
+    unbatched = results.one(_unbatched_request())
 
     costs = HypercallCostModel()
     share = costs.invalidation_share(64)
@@ -85,6 +98,28 @@ def run(apps: Optional[Sequence[str]] = None, verbose: bool = True) -> BatchingR
             )
         )
     return result
+
+
+def run(
+    apps: Optional[Sequence[str]] = None,
+    verbose: bool = True,
+    runner: Optional[Runner] = None,
+) -> BatchingResult:
+    """Regenerate the batching microbenchmarks (``apps`` ignored)."""
+    runner = runner or common.default_runner()
+    results = runner.resolve(required_runs(apps))
+    return assemble(results, apps=apps, verbose=verbose)
+
+
+SCENARIO = register(
+    Scenario(
+        name="batching",
+        description="Hypercall batching: wrmem strawman vs 64-entry queues",
+        required_runs=required_runs,
+        assemble=assemble,
+        run=run,
+    )
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,4 +1,4 @@
-"""Shared runners (memoised) and the paper's standard configurations.
+"""Request constructors, best-policy pickers and the default pipeline.
 
 The evaluation compares a fixed set of configurations:
 
@@ -11,17 +11,31 @@ The evaluation compares a fixed set of configurations:
 * **Xen+NUMA** — Xen+ with the best NUMA policy per application
   (first-touch implies the passthrough driver turns off).
 
-Runs are memoised per process: Figure 6 reuses Figure 2's LinuxNUMA
-sweep, Figure 10 reuses Figure 7's policy sweep, and so on.
+Scenarios declare these as :class:`~repro.sim.runspec.RunRequest` lists
+(built by the constructors below) and the :mod:`repro.runner` resolves
+them through a :mod:`repro.runstore` store — Figure 6 literally requires
+Figure 2's sweep requests, Figure 10 requires Figure 7's, and the store
+turns that shared identity into cache hits instead of relying on memo-dict
+coincidence.
+
+The historical per-process memo survives as thin shims: ``linux_run`` and
+friends resolve a single request through a module-default in-memory store,
+``_CACHE`` aliases that store's dict (keys are now content hashes) and
+``clear_cache`` empties it — tests written against the old interface keep
+passing unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from contextlib import contextmanager
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.config import SimConfig
 from repro.core.policies.base import PolicyName, PolicySpec
+from repro.errors import WorkloadError
 from repro.hypervisor.xen import XEN, XEN_PLUS, XenFeatures
+from repro.runner import ResultSet, Runner
+from repro.runstore.memory import MemoryRunStore
 from repro.sim.engine import run_app, run_apps
 from repro.sim.environment import (
     LinuxEnvironment,
@@ -30,6 +44,7 @@ from repro.sim.environment import (
     MCS_APPS,
 )
 from repro.sim.results import RunResult
+from repro.sim.runspec import RunRequest, VmRequest
 from repro.workloads.app import AppSpec
 from repro.workloads.suite import APPLICATIONS, get_app
 
@@ -52,17 +67,52 @@ XEN_POLICIES: List[PolicySpec] = [
 #: All Xen policies including the boot-only default.
 XEN_POLICIES_ALL: List[PolicySpec] = [PolicySpec(PolicyName.ROUND_1G)] + XEN_POLICIES
 
-_CACHE: Dict[tuple, RunResult] = {}
+# ----------------------------------------------------------------------
+# The default pipeline (in-memory store, serial runner)
+
+_STORE = MemoryRunStore()
+_RUNNER = Runner(store=_STORE, jobs=1)
+
+#: Legacy alias: the default store's underlying dict. Keys are request
+#: cache hashes (they used to be ad-hoc tuples); the dict object is
+#: stable across ``clear_cache`` calls, so holding a reference stays safe.
+_CACHE = _STORE.data
+
+_DEFAULT_CONFIG = SimConfig()
+
+
+def default_runner() -> Runner:
+    """The process-wide serial runner the experiment shims resolve through."""
+    return _RUNNER
 
 
 def clear_cache() -> None:
     """Drop all memoised runs (tests use this for isolation)."""
-    _CACHE.clear()
+    _STORE.clear()
+    _RUNNER.stats.requested = 0
+    _RUNNER.stats.deduplicated = 0
+    _RUNNER.stats.executed = 0
 
 
 def default_config() -> SimConfig:
     """The configuration every experiment runs with."""
-    return SimConfig()
+    return _DEFAULT_CONFIG
+
+
+@contextmanager
+def configured(config: SimConfig):
+    """Temporarily swap the default config (the CLI's tiny-config knob).
+
+    Only affects *request construction*: workers always rebuild the world
+    from the config embedded in the serialized request.
+    """
+    global _DEFAULT_CONFIG
+    previous = _DEFAULT_CONFIG
+    _DEFAULT_CONFIG = config
+    try:
+        yield config
+    finally:
+        _DEFAULT_CONFIG = previous
 
 
 def select_apps(apps: Optional[Sequence[str]] = None) -> List[AppSpec]:
@@ -72,8 +122,163 @@ def select_apps(apps: Optional[Sequence[str]] = None) -> List[AppSpec]:
     return [get_app(name) for name in apps]
 
 
+def app_names(apps: Optional[Sequence[str]] = None) -> List[str]:
+    """Like :func:`select_apps` but returning validated names."""
+    return [app.name for app in select_apps(apps)]
+
+
 # ----------------------------------------------------------------------
-# Native Linux runs
+# Request constructors (the vocabulary scenarios declare runs in)
+
+
+def linux_request(
+    app_name: str,
+    policy: str = "first-touch",
+    carrefour: bool = False,
+    mcs_locks: bool = False,
+    config: Optional[SimConfig] = None,
+) -> RunRequest:
+    """One native-Linux run."""
+    return RunRequest(
+        environment="linux",
+        vms=(
+            VmRequest(
+                app=app_name, policy=policy, carrefour=carrefour, mcs_locks=mcs_locks
+            ),
+        ),
+        config=config or default_config(),
+    )
+
+
+def xen_request(
+    app_name: str,
+    policy: PolicySpec,
+    features: XenFeatures = XEN_PLUS,
+    config: Optional[SimConfig] = None,
+) -> RunRequest:
+    """One single-VM Xen run (48 vCPUs, all threads pinned)."""
+    return RunRequest(
+        environment="xen",
+        vms=(
+            VmRequest(
+                app=app_name, policy=policy.base.value, carrefour=policy.carrefour
+            ),
+        ),
+        features=features.name,
+        config=config or default_config(),
+    )
+
+
+def xen_stock_request(app_name: str, config: Optional[SimConfig] = None) -> RunRequest:
+    """Stock Xen (Figure 1): round-1G, PV I/O, blocking locks."""
+    return xen_request(app_name, PolicySpec(PolicyName.ROUND_1G), features=XEN, config=config)
+
+
+def xen_plus_request(app_name: str, config: Optional[SimConfig] = None) -> RunRequest:
+    """Xen+ baseline (sections 5.3-5.4): round-1G with the mitigations."""
+    return xen_request(
+        app_name, PolicySpec(PolicyName.ROUND_1G), features=XEN_PLUS, config=config
+    )
+
+
+def pair_request(
+    vms: Sequence[VmRequest],
+    features: XenFeatures = XEN_PLUS,
+    config: Optional[SimConfig] = None,
+) -> RunRequest:
+    """A multi-VM consolidated/colocated run (Figures 8 and 9)."""
+    return RunRequest(
+        environment="xen",
+        vms=tuple(vms),
+        features=features.name,
+        config=config or default_config(),
+    )
+
+
+def linux_numa_requests(
+    app_name: str, config: Optional[SimConfig] = None
+) -> List[RunRequest]:
+    """The LinuxNUMA sweep: Figure 2's combos, MCS locks where they apply."""
+    mcs = app_name in MCS_APPS
+    return [
+        linux_request(app_name, policy, carrefour, mcs_locks=mcs, config=config)
+        for policy, carrefour in LINUX_COMBOS
+    ]
+
+
+def xen_numa_requests(
+    app_name: str, config: Optional[SimConfig] = None
+) -> List[RunRequest]:
+    """The Xen+NUMA sweep: every policy including the round-1G default."""
+    return [xen_request(app_name, spec, config=config) for spec in XEN_POLICIES_ALL]
+
+
+# ----------------------------------------------------------------------
+# Best-policy pickers (shared by LinuxNUMA/Xen+NUMA scenarios and shims)
+
+
+def _pick_best(
+    candidates: Iterable[Tuple[RunResult, str]]
+) -> Tuple[RunResult, str]:
+    """First strict minimum of completion time (ties keep the earlier)."""
+    best: Optional[RunResult] = None
+    best_label = ""
+    for result, label in candidates:
+        if best is None or result.completion_seconds < best.completion_seconds:
+            best, best_label = result, label
+    assert best is not None
+    return best, best_label
+
+
+def best_linux_numa(
+    fetch: Callable[[RunRequest], RunResult],
+    app_name: str,
+    config: Optional[SimConfig] = None,
+) -> Tuple[RunResult, str]:
+    """LinuxNUMA winner for ``app_name``, reading runs through ``fetch``."""
+    mcs = app_name in MCS_APPS
+    return _pick_best(
+        (
+            fetch(linux_request(app_name, policy, carrefour, mcs_locks=mcs, config=config)),
+            _linux_label(policy, carrefour),
+        )
+        for policy, carrefour in LINUX_COMBOS
+    )
+
+
+def best_xen_numa(
+    fetch: Callable[[RunRequest], RunResult],
+    app_name: str,
+    config: Optional[SimConfig] = None,
+) -> Tuple[RunResult, str]:
+    """Xen+NUMA winner for ``app_name``, reading runs through ``fetch``."""
+    return _pick_best(
+        (fetch(xen_request(app_name, spec, config=config)), spec.label)
+        for spec in XEN_POLICIES_ALL
+    )
+
+
+def _linux_label(policy: str, carrefour: bool) -> str:
+    label = {"first-touch": "First-Touch", "round-4k": "Round-4K"}[policy]
+    if carrefour:
+        label += " / Carrefour"
+    return label
+
+
+# ----------------------------------------------------------------------
+# Legacy memoised runners (thin shims over the default pipeline)
+
+
+def _is_suite_app(app: AppSpec) -> bool:
+    """Whether ``app`` is the registered suite spec (vs an ad-hoc copy)."""
+    try:
+        return get_app(app.name) == app
+    except WorkloadError:
+        return False
+
+
+def _resolve_one(request: RunRequest) -> RunResult:
+    return _RUNNER.resolve([request]).one(request)
 
 
 def linux_run(
@@ -85,38 +290,27 @@ def linux_run(
 ) -> RunResult:
     """One memoised native-Linux run."""
     config = config or default_config()
-    key = ("linux", app.name, policy, carrefour, mcs_locks, config)
-    if key not in _CACHE:
+    if not _is_suite_app(app):
+        # Ad-hoc AppSpec copies cannot be named in a request; run direct.
         env = LinuxEnvironment(
             policy=policy, carrefour=carrefour, mcs_locks=mcs_locks, config=config
         )
-        _CACHE[key] = run_app(env, app)
-    return _CACHE[key]
+        return run_app(env, app)
+    return _resolve_one(
+        linux_request(app.name, policy, carrefour, mcs_locks=mcs_locks, config=config)
+    )
 
 
 def linux_numa_run(app: AppSpec, config: Optional[SimConfig] = None) -> Tuple[RunResult, str]:
     """LinuxNUMA: the best Linux policy for ``app`` (+ MCS where used)."""
     mcs = app.name in MCS_APPS
-    best: Optional[RunResult] = None
-    best_label = ""
-    for policy, carrefour in LINUX_COMBOS:
-        result = linux_run(app, policy, carrefour, mcs_locks=mcs, config=config)
-        if best is None or result.completion_seconds < best.completion_seconds:
-            best = result
-            best_label = _linux_label(policy, carrefour)
-    assert best is not None
-    return best, best_label
-
-
-def _linux_label(policy: str, carrefour: bool) -> str:
-    label = {"first-touch": "First-Touch", "round-4k": "Round-4K"}[policy]
-    if carrefour:
-        label += " / Carrefour"
-    return label
-
-
-# ----------------------------------------------------------------------
-# Xen runs
+    return _pick_best(
+        (
+            linux_run(app, policy, carrefour, mcs_locks=mcs, config=config),
+            _linux_label(policy, carrefour),
+        )
+        for policy, carrefour in LINUX_COMBOS
+    )
 
 
 def xen_run(
@@ -127,11 +321,11 @@ def xen_run(
 ) -> RunResult:
     """One memoised single-VM Xen run (48 vCPUs, all threads pinned)."""
     config = config or default_config()
-    key = ("xen", app.name, policy, features, config)
-    if key not in _CACHE:
+    if not _is_suite_app(app) or features not in (XEN, XEN_PLUS):
+        # Ad-hoc apps or feature sets cannot be named in a request; run direct.
         env = XenEnvironment(features=features, config=config)
-        _CACHE[key] = run_app(env, VmSpec(app=app, policy=policy))
-    return _CACHE[key]
+        return run_app(env, VmSpec(app=app, policy=policy))
+    return _resolve_one(xen_request(app.name, policy, features=features, config=config))
 
 
 def xen_stock_run(app: AppSpec, config: Optional[SimConfig] = None) -> RunResult:
@@ -148,15 +342,10 @@ def xen_plus_run(app: AppSpec, config: Optional[SimConfig] = None) -> RunResult:
 
 def xen_numa_run(app: AppSpec, config: Optional[SimConfig] = None) -> Tuple[RunResult, str]:
     """Xen+NUMA: the best Xen+ policy for ``app`` (round-1G included)."""
-    best: Optional[RunResult] = None
-    best_label = ""
-    for spec in XEN_POLICIES_ALL:
-        result = xen_run(app, spec, features=XEN_PLUS, config=config)
-        if best is None or result.completion_seconds < best.completion_seconds:
-            best = result
-            best_label = spec.label
-    assert best is not None
-    return best, best_label
+    return _pick_best(
+        (xen_run(app, spec, features=XEN_PLUS, config=config), spec.label)
+        for spec in XEN_POLICIES_ALL
+    )
 
 
 def xen_pair_run(
@@ -164,7 +353,57 @@ def xen_pair_run(
     features: XenFeatures = XEN_PLUS,
     config: Optional[SimConfig] = None,
 ) -> List[RunResult]:
-    """A multi-VM consolidated run (Figures 8 and 9). Not memoised."""
+    """A multi-VM run (Figures 8 and 9), now store-backed like the rest."""
     config = config or default_config()
-    env = XenEnvironment(features=features, config=config)
-    return run_apps(env, list(specs))
+    if features not in (XEN, XEN_PLUS) or not all(
+        _is_suite_app(spec.app) for spec in specs
+    ):
+        env = XenEnvironment(features=features, config=config)
+        return run_apps(env, list(specs))
+    request = pair_request(
+        [
+            VmRequest(
+                app=spec.app.name,
+                policy=spec.policy.base.value,
+                carrefour=spec.policy.carrefour,
+                num_vcpus=spec.num_vcpus,
+                home_nodes=spec.home_nodes,
+                pin_pcpus=spec.pin_pcpus,
+                memory_pages=spec.memory_pages,
+            )
+            for spec in specs
+        ],
+        features=features,
+        config=config,
+    )
+    return list(_RUNNER.resolve([request]).get(request))
+
+
+__all__ = [
+    "LINUX_COMBOS",
+    "XEN_POLICIES",
+    "XEN_POLICIES_ALL",
+    "ResultSet",
+    "default_runner",
+    "clear_cache",
+    "default_config",
+    "configured",
+    "select_apps",
+    "app_names",
+    "linux_request",
+    "xen_request",
+    "xen_stock_request",
+    "xen_plus_request",
+    "pair_request",
+    "linux_numa_requests",
+    "xen_numa_requests",
+    "best_linux_numa",
+    "best_xen_numa",
+    "linux_run",
+    "linux_numa_run",
+    "xen_run",
+    "xen_stock_run",
+    "xen_plus_run",
+    "xen_numa_run",
+    "xen_pair_run",
+]

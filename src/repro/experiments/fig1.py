@@ -13,7 +13,10 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.tables import format_percent, format_table
 from repro.experiments import common
+from repro.experiments.registry import Scenario, register
+from repro.runner import ResultSet, Runner
 from repro.sim.results import relative_overhead
+from repro.sim.runspec import RunRequest
 
 
 @dataclass
@@ -30,18 +33,31 @@ class Fig1Result:
         return max(self.overheads.values())
 
 
-def run(apps: Optional[Sequence[str]] = None, verbose: bool = True) -> Fig1Result:
-    """Regenerate Figure 1."""
+def required_runs(apps: Optional[Sequence[str]] = None) -> List[RunRequest]:
+    """Linux first-touch and stock Xen, per application."""
+    requests: List[RunRequest] = []
+    for name in common.app_names(apps):
+        requests.append(common.linux_request(name, "first-touch"))
+        requests.append(common.xen_stock_request(name))
+    return requests
+
+
+def assemble(
+    results: ResultSet,
+    apps: Optional[Sequence[str]] = None,
+    verbose: bool = False,
+) -> Fig1Result:
+    """Build Figure 1 from resolved runs."""
     overheads: Dict[str, float] = {}
     rows: List[List[str]] = []
-    for app in common.select_apps(apps):
-        linux = common.linux_run(app, "first-touch")
-        xen = common.xen_stock_run(app)
+    for name in common.app_names(apps):
+        linux = results.one(common.linux_request(name, "first-touch"))
+        xen = results.one(common.xen_stock_request(name))
         overhead = relative_overhead(xen, linux)
-        overheads[app.name] = overhead
+        overheads[name] = overhead
         rows.append(
             [
-                app.name,
+                name,
                 f"{linux.completion_seconds:.1f}s",
                 f"{xen.completion_seconds:.1f}s",
                 format_percent(overhead, signed=True),
@@ -66,6 +82,28 @@ def run(apps: Optional[Sequence[str]] = None, verbose: bool = True) -> Fig1Resul
             f"max {format_percent(result.max_overhead)}"
         )
     return result
+
+
+def run(
+    apps: Optional[Sequence[str]] = None,
+    verbose: bool = True,
+    runner: Optional[Runner] = None,
+) -> Fig1Result:
+    """Regenerate Figure 1."""
+    runner = runner or common.default_runner()
+    results = runner.resolve(required_runs(apps))
+    return assemble(results, apps=apps, verbose=verbose)
+
+
+SCENARIO = register(
+    Scenario(
+        name="fig1",
+        description="Overhead of stock Xen vs native Linux, 29 applications",
+        required_runs=required_runs,
+        assemble=assemble,
+        run=run,
+    )
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -15,7 +15,10 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.tables import format_percent, format_table
 from repro.experiments import common
+from repro.experiments.registry import Scenario, register
+from repro.runner import ResultSet, Runner
 from repro.sim.results import relative_improvement
+from repro.sim.runspec import RunRequest
 
 COMBOS = [
     ("first-touch", True, "FT/Carrefour"),
@@ -43,25 +46,39 @@ class Fig2Result:
         return sum(1 for app in self.improvements if self.spread(app) > threshold)
 
 
-def run(apps: Optional[Sequence[str]] = None, verbose: bool = True) -> Fig2Result:
-    """Regenerate Figure 2."""
+def required_runs(apps: Optional[Sequence[str]] = None) -> List[RunRequest]:
+    """The full Linux sweep: first-touch base plus the three variants."""
+    requests: List[RunRequest] = []
+    for name in common.app_names(apps):
+        requests.append(common.linux_request(name, "first-touch"))
+        for policy, carrefour, _ in COMBOS:
+            requests.append(common.linux_request(name, policy, carrefour))
+    return requests
+
+
+def assemble(
+    results: ResultSet,
+    apps: Optional[Sequence[str]] = None,
+    verbose: bool = False,
+) -> Fig2Result:
+    """Build Figure 2 from resolved runs."""
     improvements: Dict[str, Dict[str, float]] = {}
     best_combo: Dict[str, str] = {}
     rows: List[List[str]] = []
-    for app in common.select_apps(apps):
-        base = common.linux_run(app, "first-touch")
+    for name in common.app_names(apps):
+        base = results.one(common.linux_request(name, "first-touch"))
         per_app: Dict[str, float] = {}
         best_label, best_value = "First-Touch", 0.0
         for policy, carrefour, label in COMBOS:
-            result = common.linux_run(app, policy, carrefour)
+            result = results.one(common.linux_request(name, policy, carrefour))
             value = relative_improvement(result, base)
             per_app[label] = value
             if value > best_value:
                 best_label, best_value = label, value
-        improvements[app.name] = per_app
-        best_combo[app.name] = best_label
+        improvements[name] = per_app
+        best_combo[name] = best_label
         rows.append(
-            [app.name]
+            [name]
             + [format_percent(per_app[l], signed=True) for _, __, l in COMBOS]
             + [best_label]
         )
@@ -80,6 +97,28 @@ def run(apps: Optional[Sequence[str]] = None, verbose: bool = True) -> Fig2Resul
             f"> 100%: {result.count_spread_above(1.0)}"
         )
     return result
+
+
+def run(
+    apps: Optional[Sequence[str]] = None,
+    verbose: bool = True,
+    runner: Optional[Runner] = None,
+) -> Fig2Result:
+    """Regenerate Figure 2."""
+    runner = runner or common.default_runner()
+    results = runner.resolve(required_runs(apps))
+    return assemble(results, apps=apps, verbose=verbose)
+
+
+SCENARIO = register(
+    Scenario(
+        name="fig2",
+        description="Linux NUMA policy sweep vs default first-touch",
+        required_runs=required_runs,
+        assemble=assemble,
+        run=run,
+    )
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -9,10 +9,14 @@ re-entry).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.tables import format_table
+from repro.errors import ExperimentError
+from repro.experiments.registry import Scenario, register
 from repro.hypervisor.ipi import IpiModel
+from repro.runner import ResultSet, Runner
+from repro.sim.runspec import RunRequest
 
 #: The paper's measured totals (seconds).
 PAPER_TOTALS = {"native": 0.9e-6, "guest": 10.9e-6}
@@ -28,8 +32,27 @@ class Fig5Result:
         return self.totals["guest"] / self.totals["native"]
 
 
-def run(apps: Optional[Sequence[str]] = None, verbose: bool = True) -> Fig5Result:
-    """Regenerate Figure 5 from the IPI model (``apps`` ignored)."""
+def _reject_apps(apps: Optional[Sequence[str]]) -> None:
+    if apps is not None:
+        raise ExperimentError(
+            "fig5 is a machine microbenchmark; it takes no application "
+            f"selection (got {list(apps)!r})"
+        )
+
+
+def required_runs(apps: Optional[Sequence[str]] = None) -> List[RunRequest]:
+    """Figure 5 is analytic: it consumes no engine runs."""
+    _reject_apps(apps)
+    return []
+
+
+def assemble(
+    results: Optional[ResultSet] = None,
+    apps: Optional[Sequence[str]] = None,
+    verbose: bool = False,
+) -> Fig5Result:
+    """Build Figure 5 from the IPI model (``results`` unused)."""
+    _reject_apps(apps)
     model = IpiModel()
     totals = {mode: model.cost(mode) for mode in ("native", "guest")}
     components = {
@@ -55,6 +78,33 @@ def run(apps: Optional[Sequence[str]] = None, verbose: bool = True) -> Fig5Resul
             print()
         print(f"> guest/native cost ratio: {result.guest_native_ratio:.1f}x")
     return result
+
+
+def run(
+    apps: Optional[Sequence[str]] = None,
+    verbose: bool = True,
+    runner: Optional[Runner] = None,
+) -> Fig5Result:
+    """Regenerate Figure 5 from the IPI model.
+
+    Raises:
+        ExperimentError: ``apps`` is not None — there is nothing
+            per-application here, so a selection is a caller bug, not
+            something to ignore silently.
+    """
+    _reject_apps(apps)
+    return assemble(None, apps=None, verbose=verbose)
+
+
+SCENARIO = register(
+    Scenario(
+        name="fig5",
+        description="IPI cost repartition, native vs guest (microbenchmark)",
+        required_runs=required_runs,
+        assemble=assemble,
+        run=run,
+    )
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

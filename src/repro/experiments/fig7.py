@@ -14,7 +14,10 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.tables import format_percent, format_table
 from repro.experiments import common
+from repro.experiments.registry import Scenario, register
+from repro.runner import ResultSet, Runner
 from repro.sim.results import relative_improvement
+from repro.sim.runspec import RunRequest
 
 
 @dataclass
@@ -42,26 +45,40 @@ class Fig7Result:
         return worst
 
 
-def run(apps: Optional[Sequence[str]] = None, verbose: bool = True) -> Fig7Result:
-    """Regenerate Figure 7."""
+def required_runs(apps: Optional[Sequence[str]] = None) -> List[RunRequest]:
+    """The Xen+ policy sweep: round-1G base plus the four alternatives."""
+    requests: List[RunRequest] = []
+    for name in common.app_names(apps):
+        requests.append(common.xen_plus_request(name))
+        for spec in common.XEN_POLICIES:
+            requests.append(common.xen_request(name, spec))
+    return requests
+
+
+def assemble(
+    results: ResultSet,
+    apps: Optional[Sequence[str]] = None,
+    verbose: bool = False,
+) -> Fig7Result:
+    """Build Figure 7 from resolved runs."""
     improvements: Dict[str, Dict[str, float]] = {}
     best_policy: Dict[str, str] = {}
     rows: List[List[str]] = []
     labels = [spec.label for spec in common.XEN_POLICIES]
-    for app in common.select_apps(apps):
-        base = common.xen_plus_run(app)
+    for name in common.app_names(apps):
+        base = results.one(common.xen_plus_request(name))
         per_app: Dict[str, float] = {}
         best_label, best_value = "Round-1G", 0.0
         for spec in common.XEN_POLICIES:
-            result = common.xen_run(app, spec)
+            result = results.one(common.xen_request(name, spec))
             value = relative_improvement(result, base)
             per_app[spec.label] = value
             if value > best_value:
                 best_label, best_value = spec.label, value
-        improvements[app.name] = per_app
-        best_policy[app.name] = best_label
+        improvements[name] = per_app
+        best_policy[name] = best_label
         rows.append(
-            [app.name]
+            [name]
             + [format_percent(per_app[l], signed=True) for l in labels]
             + [best_label]
         )
@@ -89,6 +106,28 @@ def run(apps: Optional[Sequence[str]] = None, verbose: bool = True) -> Fig7Resul
             f"{format_percent(result.max_degradation_replacing_round1g())}"
         )
     return result
+
+
+def run(
+    apps: Optional[Sequence[str]] = None,
+    verbose: bool = True,
+    runner: Optional[Runner] = None,
+) -> Fig7Result:
+    """Regenerate Figure 7."""
+    runner = runner or common.default_runner()
+    results = runner.resolve(required_runs(apps))
+    return assemble(results, apps=apps, verbose=verbose)
+
+
+SCENARIO = register(
+    Scenario(
+        name="fig7",
+        description="Xen+ NUMA policy sweep vs the round-1G default",
+        required_runs=required_runs,
+        assemble=assemble,
+        run=run,
+    )
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

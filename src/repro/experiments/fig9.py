@@ -5,19 +5,26 @@ two vCPUs (one per VM) and Xen's credit scheduler shares it fairly. As in
 Figure 8, the improvement of the best per-application Xen NUMA policy
 over the round-1G default is reported per VM. MCS locks stay off: the
 paper's spin-loop trick only works for non-consolidated workloads.
+
+Like Figure 8 this is two-stage (sweeps pick the policies, pair runs
+follow), and the per-application sweeps it declares overlap Figure 8's —
+shared requests the store serves from cache.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.tables import format_percent, format_table
 from repro.core.policies.base import PolicyName, PolicySpec
 from repro.experiments import common
-from repro.experiments.fig8 import best_policy_spec
-from repro.sim.environment import VmSpec
-from repro.workloads.suite import get_app
+from repro.experiments.fig8 import best_policy_spec, pair_apps, resolved_best_spec
+from repro.experiments.registry import Scenario, register
+from repro.runner import ResultSet, Runner
+from repro.sim.runspec import RunRequest, VmRequest
+
+__all__ = ["DEFAULT_PAIRS", "Fig9Result", "PairResult", "run", "best_policy_spec"]
 
 #: Six consolidated pairs (labels in the paper's figure are garbled; the
 #: pairs cover all imbalance classes).
@@ -49,40 +56,76 @@ class Fig9Result:
         return max(0.0, -min(min(p.improvements) for p in self.pairs))
 
 
-def _consolidated_completions(
+def consolidated_request(
     names: Tuple[str, str], policies: Tuple[PolicySpec, PolicySpec]
-) -> Tuple[float, float]:
+) -> RunRequest:
+    """One consolidated two-VM run: both VMs span all nodes and pCPUs."""
     all_nodes = list(range(8))
     pin = list(range(48))
-    specs = [
-        VmSpec(
-            app=get_app(name),
-            policy=policies[i],
+    vms = [
+        VmRequest(
+            app=name,
+            policy=policies[i].base.value,
+            carrefour=policies[i].carrefour,
             num_vcpus=48,
             home_nodes=all_nodes,
             pin_pcpus=pin,
         )
         for i, name in enumerate(names)
     ]
-    results = common.xen_pair_run(specs)
-    return results[0].completion_seconds, results[1].completion_seconds
+    return common.pair_request(vms)
 
 
-def run(
+def required_runs(
     apps: Optional[Sequence[str]] = None,
-    verbose: bool = True,
     pairs: Optional[List[Tuple[str, str]]] = None,
-) -> Fig9Result:
-    """Regenerate Figure 9 (``apps`` ignored; pass ``pairs`` to restrict)."""
+) -> List[RunRequest]:
+    """Policy sweeps for every paired app plus the round-1G baselines."""
     pairs = pairs or DEFAULT_PAIRS
-    out: List[PairResult] = []
-    rows: List[List[str]] = []
+    requests: List[RunRequest] = []
+    for name in pair_apps(pairs):
+        requests.extend(common.xen_numa_requests(name))
     round1g = PolicySpec(PolicyName.ROUND_1G)
     for pair in pairs:
-        base = _consolidated_completions(pair, (round1g, round1g))
-        best_specs = (best_policy_spec(pair[0]), best_policy_spec(pair[1]))
-        best = _consolidated_completions(pair, best_specs)
-        improvements = (base[0] / best[0] - 1.0, base[1] / best[1] - 1.0)
+        requests.append(consolidated_request(pair, (round1g, round1g)))
+    return requests
+
+
+def _consolidated_completions(
+    results: ResultSet,
+    names: Tuple[str, str],
+    policies: Tuple[PolicySpec, PolicySpec],
+) -> Tuple[float, float]:
+    run_results = results.get(consolidated_request(names, policies))
+    return run_results[0].completion_seconds, run_results[1].completion_seconds
+
+
+def assemble(
+    results: ResultSet,
+    apps: Optional[Sequence[str]] = None,
+    verbose: bool = False,
+    pairs: Optional[List[Tuple[str, str]]] = None,
+) -> Fig9Result:
+    """Build Figure 9 from resolved runs (``apps`` ignored)."""
+    pairs = pairs or DEFAULT_PAIRS
+    round1g = PolicySpec(PolicyName.ROUND_1G)
+    best = {name: resolved_best_spec(results, name) for name in pair_apps(pairs)}
+    results.resolve(
+        [
+            consolidated_request(pair, (best[pair[0]], best[pair[1]]))
+            for pair in pairs
+        ]
+    )
+    out: List[PairResult] = []
+    rows: List[List[str]] = []
+    for pair in pairs:
+        base = _consolidated_completions(results, pair, (round1g, round1g))
+        best_specs = (best[pair[0]], best[pair[1]])
+        best_times = _consolidated_completions(results, pair, best_specs)
+        improvements = (
+            base[0] / best_times[0] - 1.0,
+            base[1] / best_times[1] - 1.0,
+        )
         out.append(
             PairResult(
                 apps=pair,
@@ -114,6 +157,30 @@ def run(
             f"max degradation {format_percent(result.max_degradation())}"
         )
     return result
+
+
+def run(
+    apps: Optional[Sequence[str]] = None,
+    verbose: bool = True,
+    pairs: Optional[List[Tuple[str, str]]] = None,
+    runner: Optional[Runner] = None,
+) -> Fig9Result:
+    """Regenerate Figure 9 (``apps`` ignored; pass ``pairs`` to restrict)."""
+    runner = runner or common.default_runner()
+    results = runner.resolve(required_runs(apps, pairs=pairs))
+    return assemble(results, apps=apps, verbose=verbose, pairs=pairs)
+
+
+SCENARIO = register(
+    Scenario(
+        name="fig9",
+        description="Two consolidated 48-vCPU VMs: best policy vs round-1G",
+        required_runs=required_runs,
+        assemble=assemble,
+        run=run,
+        reuses=("fig8",),
+    )
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -10,12 +10,15 @@ IOMMU DMA engine), not just the timing formula.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.tables import format_table
 from repro.config import SimConfig
+from repro.experiments.registry import Scenario, register
 from repro.hardware.presets import amd48
 from repro.hypervisor.xen import Hypervisor, XEN_PLUS
+from repro.runner import ResultSet, Runner
+from repro.sim.runspec import RunRequest
 from repro.vio.disk import DiskModel, IoMode, MEASURED_4K_SECONDS
 from repro.vio.dma import DmaEngine
 from repro.vio.drivers import ParavirtDriver, PassthroughDriver
@@ -35,8 +38,17 @@ class IoMicroResult:
         )
 
 
-def run(apps: Optional[Sequence[str]] = None, verbose: bool = True) -> IoMicroResult:
-    """Regenerate the I/O microbenchmark (``apps`` ignored)."""
+def required_runs(apps: Optional[Sequence[str]] = None) -> List[RunRequest]:
+    """The I/O microbenchmark drives driver objects, not engine runs."""
+    return []
+
+
+def assemble(
+    results: Optional[ResultSet] = None,
+    apps: Optional[Sequence[str]] = None,
+    verbose: bool = False,
+) -> IoMicroResult:
+    """Build the I/O microbenchmark result (``results`` unused)."""
     config = SimConfig()
     machine = amd48(config=config)
     hypervisor = Hypervisor(machine, features=XEN_PLUS)
@@ -96,6 +108,26 @@ def run(apps: Optional[Sequence[str]] = None, verbose: bool = True) -> IoMicroRe
             )
         )
     return result
+
+
+def run(
+    apps: Optional[Sequence[str]] = None,
+    verbose: bool = True,
+    runner: Optional[Runner] = None,
+) -> IoMicroResult:
+    """Regenerate the I/O microbenchmark (``apps`` ignored)."""
+    return assemble(None, apps=None, verbose=verbose)
+
+
+SCENARIO = register(
+    Scenario(
+        name="io_micro",
+        description="Block-read latency through the three I/O paths",
+        required_runs=required_runs,
+        assemble=assemble,
+        run=run,
+    )
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -11,11 +11,14 @@ counters model enforces the same exclusivity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.analysis.metrics import classify_imbalance
 from repro.analysis.tables import format_table
 from repro.experiments import common
+from repro.experiments.registry import Scenario, register
+from repro.runner import ResultSet, Runner
+from repro.sim.runspec import RunRequest
 from repro.workloads.suite import get_app
 
 
@@ -40,15 +43,29 @@ class Table1Result:
         return sum(1 for r in self.rows if r.measured_class == r.paper_class)
 
 
-def run(apps: Optional[Sequence[str]] = None, verbose: bool = True) -> Table1Result:
-    """Regenerate Table 1 from simulation measurements."""
+def required_runs(apps: Optional[Sequence[str]] = None) -> List[RunRequest]:
+    """First-touch and round-4K native runs, per application."""
+    requests: List[RunRequest] = []
+    for name in common.app_names(apps):
+        requests.append(common.linux_request(name, "first-touch"))
+        requests.append(common.linux_request(name, "round-4k"))
+    return requests
+
+
+def assemble(
+    results: ResultSet,
+    apps: Optional[Sequence[str]] = None,
+    verbose: bool = False,
+) -> Table1Result:
+    """Build Table 1 from resolved runs."""
     rows: List[Table1Row] = []
     printable: List[List[str]] = []
-    for app in common.select_apps(apps):
-        ft = common.linux_run(app, "first-touch")
-        r4k = common.linux_run(app, "round-4k")
+    for name in common.app_names(apps):
+        app = get_app(name)
+        ft = results.one(common.linux_request(name, "first-touch"))
+        r4k = results.one(common.linux_request(name, "round-4k"))
         row = Table1Row(
-            app=app.name,
+            app=name,
             ft_imbalance=ft.mean_imbalance,
             r4k_imbalance=r4k.mean_imbalance,
             ft_interconnect=ft.mean_max_link_rho,
@@ -59,7 +76,7 @@ def run(apps: Optional[Sequence[str]] = None, verbose: bool = True) -> Table1Res
         rows.append(row)
         printable.append(
             [
-                app.name,
+                name,
                 f"{row.ft_imbalance * 100:.0f}%",
                 f"{row.r4k_imbalance * 100:.0f}%",
                 f"{row.ft_interconnect * 100:.0f}%",
@@ -90,6 +107,28 @@ def run(apps: Optional[Sequence[str]] = None, verbose: bool = True) -> Table1Res
             f"{result.class_matches()}/{len(result.rows)} applications"
         )
     return result
+
+
+def run(
+    apps: Optional[Sequence[str]] = None,
+    verbose: bool = True,
+    runner: Optional[Runner] = None,
+) -> Table1Result:
+    """Regenerate Table 1 from simulation measurements."""
+    runner = runner or common.default_runner()
+    results = runner.resolve(required_runs(apps))
+    return assemble(results, apps=apps, verbose=verbose)
+
+
+SCENARIO = register(
+    Scenario(
+        name="table1",
+        description="Imbalance and interconnect load of the static policies",
+        required_runs=required_runs,
+        assemble=assemble,
+        run=run,
+    )
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -10,13 +10,16 @@ the models stay consistent with their specification.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.analysis.tables import format_table
 from repro.experiments import common
-from repro.sim.calibration import calibrate_app
-from repro.config import SimConfig
+from repro.experiments.registry import Scenario, register
 from repro.hardware.presets import amd48
+from repro.runner import ResultSet, Runner
+from repro.sim.calibration import calibrate_app
+from repro.sim.runspec import RunRequest
+from repro.workloads.suite import get_app
 
 
 @dataclass
@@ -35,14 +38,26 @@ class Table2Result:
     rows: List[Table2Row]
 
 
-def run(apps: Optional[Sequence[str]] = None, verbose: bool = True) -> Table2Result:
-    """Regenerate Table 2 (spec vs measured)."""
+def required_runs(apps: Optional[Sequence[str]] = None) -> List[RunRequest]:
+    """One native first-touch run per application."""
+    return [
+        common.linux_request(name, "first-touch") for name in common.app_names(apps)
+    ]
+
+
+def assemble(
+    results: ResultSet,
+    apps: Optional[Sequence[str]] = None,
+    verbose: bool = False,
+) -> Table2Result:
+    """Build Table 2 (spec vs measured) from resolved runs."""
     config = common.default_config()
     machine = amd48(config=config)
     rows: List[Table2Row] = []
     printable: List[List[str]] = []
-    for app in common.select_apps(apps):
-        result = common.linux_run(app, "first-touch")
+    for name in common.app_names(apps):
+        app = get_app(name)
+        result = results.one(common.linux_request(name, "first-touch"))
         op_model = calibrate_app(app, machine)
         total_ops = op_model.ops_per_thread * machine.num_cpus
         bytes_read = op_model.io_bytes_per_op * total_ops
@@ -50,7 +65,7 @@ def run(apps: Optional[Sequence[str]] = None, verbose: bool = True) -> Table2Res
         footprint_pages = config.pages_for_bytes(app.footprint_bytes)
         modeled_mb = footprint_pages * config.page_bytes / (1 << 20)
         row = Table2Row(
-            app=app.name,
+            app=name,
             suite=app.suite,
             disk_mb_s_spec=app.disk_mb_s,
             disk_mb_s_measured=measured_rate,
@@ -61,7 +76,7 @@ def run(apps: Optional[Sequence[str]] = None, verbose: bool = True) -> Table2Res
         rows.append(row)
         printable.append(
             [
-                app.name,
+                name,
                 app.suite,
                 f"{row.disk_mb_s_spec:.0f}",
                 f"{row.disk_mb_s_measured:.0f}",
@@ -88,6 +103,28 @@ def run(apps: Optional[Sequence[str]] = None, verbose: bool = True) -> Table2Res
             )
         )
     return out
+
+
+def run(
+    apps: Optional[Sequence[str]] = None,
+    verbose: bool = True,
+    runner: Optional[Runner] = None,
+) -> Table2Result:
+    """Regenerate Table 2 (spec vs measured)."""
+    runner = runner or common.default_runner()
+    results = runner.resolve(required_runs(apps))
+    return assemble(results, apps=apps, verbose=verbose)
+
+
+SCENARIO = register(
+    Scenario(
+        name="table2",
+        description="Application behaviour: disk rate, switches, footprint",
+        required_runs=required_runs,
+        assemble=assemble,
+        run=run,
+    )
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

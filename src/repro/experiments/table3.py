@@ -12,7 +12,10 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.tables import format_table
+from repro.experiments.registry import Scenario, register
 from repro.hardware.presets import amd48
+from repro.runner import ResultSet, Runner
+from repro.sim.runspec import RunRequest
 
 #: The paper's measured values (cycles).
 PAPER_CACHE = {"L1": 5, "L2": 16, "L3": 48}
@@ -40,12 +43,17 @@ class Table3Result:
         return max(errors)
 
 
-def run(apps: Optional[Sequence[str]] = None, verbose: bool = True) -> Table3Result:
-    """Regenerate Table 3 from the hardware model.
+def required_runs(apps: Optional[Sequence[str]] = None) -> List[RunRequest]:
+    """Table 3 is analytic: it consumes no engine runs."""
+    return []
 
-    ``apps`` is accepted for interface uniformity and ignored (this is a
-    machine microbenchmark).
-    """
+
+def assemble(
+    results: Optional[ResultSet] = None,
+    apps: Optional[Sequence[str]] = None,
+    verbose: bool = False,
+) -> Table3Result:
+    """Build Table 3 from the hardware model (``results`` unused)."""
     machine = amd48()
     cache = {
         level.name: level.latency_cycles for level in machine.caches.levels
@@ -92,6 +100,30 @@ def run(apps: Optional[Sequence[str]] = None, verbose: bool = True) -> Table3Res
         )
         print(f"\n> max relative error: {result.max_relative_error() * 100:.1f}%")
     return result
+
+
+def run(
+    apps: Optional[Sequence[str]] = None,
+    verbose: bool = True,
+    runner: Optional[Runner] = None,
+) -> Table3Result:
+    """Regenerate Table 3 from the hardware model.
+
+    ``apps`` is accepted for interface uniformity and ignored (this is a
+    machine microbenchmark).
+    """
+    return assemble(None, apps=None, verbose=verbose)
+
+
+SCENARIO = register(
+    Scenario(
+        name="table3",
+        description="Cache and memory latency calibration (microbenchmark)",
+        required_runs=required_runs,
+        assemble=assemble,
+        run=run,
+    )
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -10,10 +10,14 @@ vs balancing round-4K) should usually match.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.analysis.tables import format_table
 from repro.experiments import common
+from repro.experiments.registry import Scenario, register
+from repro.runner import ResultSet, Runner
+from repro.sim.runspec import RunRequest
+from repro.workloads.suite import get_app
 
 
 def _family(label: str) -> str:
@@ -51,16 +55,30 @@ class Table4Result:
         )
 
 
-def run(apps: Optional[Sequence[str]] = None, verbose: bool = True) -> Table4Result:
-    """Regenerate Table 4."""
+def required_runs(apps: Optional[Sequence[str]] = None) -> List[RunRequest]:
+    """Both full sweeps (LinuxNUMA and Xen+NUMA), per application."""
+    requests: List[RunRequest] = []
+    for name in common.app_names(apps):
+        requests.extend(common.linux_numa_requests(name))
+        requests.extend(common.xen_numa_requests(name))
+    return requests
+
+
+def assemble(
+    results: ResultSet,
+    apps: Optional[Sequence[str]] = None,
+    verbose: bool = False,
+) -> Table4Result:
+    """Build Table 4 from resolved runs."""
     rows: List[Table4Row] = []
     printable: List[List[str]] = []
-    for app in common.select_apps(apps):
-        _, linux_label = common.linux_numa_run(app)
-        _, xen_label = common.xen_numa_run(app)
+    for name in common.app_names(apps):
+        app = get_app(name)
+        _, linux_label = common.best_linux_numa(results.one, name)
+        _, xen_label = common.best_xen_numa(results.one, name)
         rows.append(
             Table4Row(
-                app=app.name,
+                app=name,
                 best_linux=linux_label,
                 paper_linux=app.best_linux,
                 best_xen=xen_label,
@@ -68,7 +86,7 @@ def run(apps: Optional[Sequence[str]] = None, verbose: bool = True) -> Table4Res
             )
         )
         printable.append(
-            [app.name, linux_label, app.best_linux, xen_label, app.best_xen]
+            [name, linux_label, app.best_linux, xen_label, app.best_xen]
         )
     result = Table4Result(rows)
     if verbose:
@@ -85,6 +103,28 @@ def run(apps: Optional[Sequence[str]] = None, verbose: bool = True) -> Table4Res
             f"Xen+ {result.xen_family_matches()}/{n}"
         )
     return result
+
+
+def run(
+    apps: Optional[Sequence[str]] = None,
+    verbose: bool = True,
+    runner: Optional[Runner] = None,
+) -> Table4Result:
+    """Regenerate Table 4."""
+    runner = runner or common.default_runner()
+    results = runner.resolve(required_runs(apps))
+    return assemble(results, apps=apps, verbose=verbose)
+
+
+SCENARIO = register(
+    Scenario(
+        name="table4",
+        description="Measured best policies vs the paper's, both systems",
+        required_runs=required_runs,
+        assemble=assemble,
+        run=run,
+    )
+)
 
 
 if __name__ == "__main__":  # pragma: no cover

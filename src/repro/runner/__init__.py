@@ -1,0 +1,16 @@
+"""The run execution layer: dedup, store lookups, process parallelism.
+
+The :class:`Runner` takes the union of the :class:`~repro.sim.runspec.RunRequest`
+lists the scenarios declare, deduplicates them by cache key, satisfies what
+it can from a :class:`~repro.runstore.RunStore`, and executes the misses —
+serially by default (determinism debugging reads better without
+interleaving), or across a ``ProcessPoolExecutor`` with ``--jobs N``.
+Workers rebuild the world from the serialized request
+(:func:`~repro.runner.exec.execute_request` is pure), so parallel results
+are bit-identical to serial ones.
+"""
+
+from repro.runner.exec import execute_request
+from repro.runner.runner import ResultSet, Runner, RunnerStats
+
+__all__ = ["execute_request", "Runner", "ResultSet", "RunnerStats"]

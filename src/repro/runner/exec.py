@@ -1,0 +1,52 @@
+"""Build a world from a serialized request and simulate it.
+
+This module is the process-pool worker target: it must stay importable at
+module level (``ProcessPoolExecutor`` pickles the function reference plus
+the frozen request), and :func:`execute_request` must be *pure* — every
+piece of state (machine, hypervisor, RNG streams) is rebuilt from the
+request so a worker process produces bit-for-bit the results the parent
+would have produced serially.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.policies.base import PolicyName, PolicySpec
+from repro.hypervisor.xen import XEN, XEN_PLUS
+from repro.sim.engine import run_apps
+from repro.sim.environment import LinuxEnvironment, VmSpec, XenEnvironment
+from repro.sim.results import RunResult
+from repro.sim.runspec import RunRequest, VmRequest
+from repro.workloads.suite import get_app
+
+
+def _vm_spec(vm: VmRequest) -> VmSpec:
+    return VmSpec(
+        app=get_app(vm.app),
+        policy=PolicySpec(PolicyName(vm.policy), carrefour=vm.carrefour),
+        num_vcpus=vm.num_vcpus,
+        home_nodes=vm.home_nodes,
+        pin_pcpus=vm.pin_pcpus,
+        memory_pages=vm.memory_pages,
+    )
+
+
+def execute_request(request: RunRequest) -> List[RunResult]:
+    """Run ``request`` to completion; one result per VM, in request order."""
+    if request.environment == "linux":
+        vm = request.vms[0]
+        env = LinuxEnvironment(
+            policy=vm.policy,
+            carrefour=vm.carrefour,
+            mcs_locks=vm.mcs_locks,
+            config=request.config,
+        )
+        return run_apps(env, [get_app(vm.app)])
+    features = XEN_PLUS if request.features == "Xen+" else XEN
+    env = XenEnvironment(
+        features=features,
+        config=request.config,
+        unbatched_hypercalls=request.unbatched_hypercalls,
+    )
+    return run_apps(env, [_vm_spec(vm) for vm in request.vms])

@@ -1,0 +1,131 @@
+"""Deduplicating, store-backed, optionally parallel request resolution."""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.runner.exec import execute_request
+from repro.runstore.base import RunStore
+from repro.runstore.memory import MemoryRunStore
+from repro.sim.results import RunResult
+from repro.sim.runspec import RunRequest
+
+
+@dataclass
+class RunnerStats:
+    """What one runner did across its ``resolve`` calls.
+
+    Attributes:
+        requested: requests handed to ``resolve`` (before dedup).
+        deduplicated: duplicates coalesced away by cache key.
+        executed: engine invocations actually performed.
+    """
+
+    requested: int = 0
+    deduplicated: int = 0
+    executed: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"runner: {self.requested} requests, "
+            f"{self.deduplicated} duplicates coalesced, "
+            f"{self.executed} executed"
+        )
+
+
+class Runner:
+    """Executes run requests through a store, serially or in parallel.
+
+    Args:
+        store: the backing :class:`~repro.runstore.RunStore` (a fresh
+            in-memory store when omitted).
+        jobs: worker processes for cache misses. The default 1 executes
+            in-process and in declaration order — the right mode for
+            determinism debugging; results are identical either way.
+    """
+
+    def __init__(self, store: Optional[RunStore] = None, jobs: int = 1) -> None:
+        self.store = store if store is not None else MemoryRunStore()
+        self.jobs = max(1, int(jobs))
+        self.stats = RunnerStats()
+
+    # ------------------------------------------------------------------
+
+    def resolve(self, requests: Sequence[RunRequest]) -> "ResultSet":
+        """Resolve ``requests`` into a fresh :class:`ResultSet`."""
+        results = ResultSet(self)
+        results.resolve(requests)
+        return results
+
+    def _resolve_into(
+        self, requests: Sequence[RunRequest], out: Dict[str, List[RunResult]]
+    ) -> None:
+        unique: Dict[str, RunRequest] = {}
+        for request in requests:
+            self.stats.requested += 1
+            key = request.cache_key()
+            if key in unique or key in out:
+                self.stats.deduplicated += 1
+            else:
+                unique[key] = request
+        todo: List[str] = []
+        for key, request in unique.items():
+            cached = self.store.get(key)
+            if cached is not None:
+                out[key] = cached
+            else:
+                todo.append(key)
+        if not todo:
+            return
+        self.stats.executed += len(todo)
+        if self.jobs == 1 or len(todo) == 1:
+            produced = [execute_request(unique[key]) for key in todo]
+        else:
+            with ProcessPoolExecutor(max_workers=min(self.jobs, len(todo))) as pool:
+                produced = list(pool.map(execute_request, [unique[key] for key in todo]))
+        for key, results in zip(todo, produced):
+            self.store.put(key, results, request=unique[key])
+            out[key] = results
+
+    def summary(self) -> str:
+        return f"{self.store.stats().summary()}; {self.stats.summary()}"
+
+
+class ResultSet:
+    """Resolved runs, addressable by request; can resolve follow-ups.
+
+    Scenario ``assemble`` hooks receive one of these. Lookups of requests
+    already resolved are dict accesses; asking for a request that was not
+    pre-declared triggers a (store-backed, possibly parallel) follow-up
+    resolution through the owning runner — that is how the two-stage
+    scenarios (Figures 8-9 pick pair policies from sweep results) batch
+    their second stage without lying about ``required_runs()``.
+    """
+
+    def __init__(self, runner: Runner) -> None:
+        self._runner = runner
+        self._results: Dict[str, List[RunResult]] = {}
+
+    def resolve(self, requests: Sequence[RunRequest]) -> "ResultSet":
+        """Batch-resolve ``requests`` (deduped against what is held)."""
+        self._runner._resolve_into(requests, self._results)
+        return self
+
+    def get(self, request: RunRequest) -> List[RunResult]:
+        """All results of ``request`` (one per VM), resolving if needed."""
+        key = request.cache_key()
+        if key not in self._results:
+            self.resolve([request])
+        return self._results[key]
+
+    def one(self, request: RunRequest) -> RunResult:
+        """The single result of a one-VM request."""
+        return self.get(request)[0]
+
+    def __contains__(self, request: RunRequest) -> bool:
+        return request.cache_key() in self._results
+
+    def __len__(self) -> int:
+        return len(self._results)

@@ -1,0 +1,117 @@
+"""The on-disk run store: one JSON file per cache key.
+
+Layout of the store directory (``.runstore/`` by convention)::
+
+    .runstore/
+        engine_version          # text file, the version that wrote the runs
+        <sha256>.json           # {"engine_version", "request", "results"}
+
+Invalidation is explicit and wholesale: when the directory was written by
+a different :data:`repro.sim.engine.ENGINE_VERSION`, every entry is
+deleted on open (the count is surfaced through ``stats()``), and the
+version file is rewritten. Individual entries additionally carry the
+version so a file copied in from elsewhere cannot resurrect stale runs.
+
+Writes are atomic (temp file + rename) so a run killed mid-write never
+leaves a half-entry that would poison later invocations; unreadable or
+malformed entries are treated as misses and removed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.runstore.base import RunStore
+from repro.sim.engine import ENGINE_VERSION
+from repro.sim.results import RunResult
+from repro.sim.runspec import RunRequest
+
+_VERSION_FILE = "engine_version"
+
+
+class DiskRunStore(RunStore):
+    """JSON-per-key store rooted at ``root`` (created if missing)."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        super().__init__()
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._invalidated = self._check_engine_version()
+
+    # ------------------------------------------------------------------
+    # Engine-version invalidation
+
+    def _version_path(self) -> Path:
+        return self.root / _VERSION_FILE
+
+    def _check_engine_version(self) -> int:
+        """Purge the store if it was written by another engine version."""
+        path = self._version_path()
+        stored: Optional[str] = None
+        if path.exists():
+            stored = path.read_text().strip()
+        if stored == ENGINE_VERSION:
+            return 0
+        dropped = 0
+        for entry in self.root.glob("*.json"):
+            entry.unlink()
+            dropped += 1
+        path.write_text(ENGINE_VERSION + "\n")
+        return dropped
+
+    def invalidated_entries(self) -> int:
+        return self._invalidated
+
+    # ------------------------------------------------------------------
+    # Backend interface
+
+    def _entry_path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def _load(self, key: str) -> Optional[List[RunResult]]:
+        path = self._entry_path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError):
+            self._discard(path)
+            return None
+        if payload.get("engine_version") != ENGINE_VERSION:
+            self._discard(path)
+            return None
+        try:
+            return [RunResult.from_json(r) for r in payload["results"]]
+        except (KeyError, TypeError, ValueError):
+            self._discard(path)
+            return None
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def _save(self, key: str, results: List[RunResult], request: Optional[RunRequest]) -> None:
+        payload = {
+            "engine_version": ENGINE_VERSION,
+            "request": None if request is None else request.to_json(),
+            "results": [r.to_json() for r in results],
+        }
+        path = self._entry_path(key)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> None:
+        for entry in self.root.glob("*.json"):
+            entry.unlink()
+        self.reset_counters()
+        self._invalidated = 0

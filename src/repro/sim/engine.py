@@ -47,6 +47,13 @@ SOLVER_EPSILON = 0.0
 #: Default epoch cap (a run 15x slower than nominal still completes).
 DEFAULT_MAX_EPOCHS = 800
 
+#: Version stamp of the engine's *numerical behaviour*. Bump it whenever a
+#: change makes previously simulated results stale (solver changes, cost
+#: model recalibration, workload model edits): persistent run stores
+#: (:mod:`repro.runstore`) compare this against the version recorded on
+#: disk and drop every stored run on a mismatch.
+ENGINE_VERSION = "3"
+
 
 class CongestionSolver:
     """Turns an access matrix into per-(src, dst) memory latencies.

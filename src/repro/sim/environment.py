@@ -127,86 +127,115 @@ class Environment:
 
 
 # ======================================================================
-# Native Linux
+# Shared run-context plumbing
 # ======================================================================
 
 
-class _LinuxContext:
-    """Run context of one application on bare-metal Linux."""
+class _PolicyContext:
+    """Shared plumbing of the per-run contexts (native Linux and domU).
 
-    domain_id = 0
+    Owns everything both environments do identically: the segment->VMA
+    mapping, the touch/release templates with their first-access fault
+    accounting, and the policy/teardown entry points the engine calls.
+    Subclasses wire in their address-space backing and implement the four
+    hooks (``_segment_attached``, ``_node_of_touch``, ``_release_mapped``,
+    ``_policy_cost``).
+
+    The release path deliberately checks "is this page mapped?" once, up
+    front, for both environments — the two historical copies had drifted
+    (native detected an unmapped release only after attempting the unmap,
+    the domU version before touching any state).
+    """
+
+    #: Set by subclasses before any page operation.
+    aspace: GuestAddressSpace
 
     def __init__(
         self,
-        machine: Machine,
-        numa_mode: LinuxNumaMode,
         sync_fraction: float,
         churn_slowdown: float,
         io_seconds_per_op: float,
         fault_cost_seconds: float = 0.5e-6,
     ):
-        self.machine = machine
-        self.numa_mode = numa_mode
         self.sync_fraction = sync_fraction
         self.churn_slowdown = churn_slowdown
         self.io_seconds_per_op = io_seconds_per_op
         self.fault_cost_seconds = fault_cost_seconds
-        self.tracker = PlacementTracker(node_of_frame=machine.node_of_frame)
-        numa_mode.on_page_placed = self.tracker.page_placed
-        numa_mode.on_page_moved = self.tracker.page_placed
-        # Frame release is keyed by vpfn through the NUMA mode (Carrefour
-        # may migrate a page after the fault, making the page-table frame
-        # stale), so the address space's frame-keyed release is a no-op.
-        self.aspace = GuestAddressSpace(
-            backing=numa_mode.backing, release=lambda mfn: None
-        )
         self._init_faults = 0
-        self._vma_of_segment = {}
+        self._vma_of_segment: dict = {}
 
-    @property
-    def policy_is_dynamic(self) -> bool:
-        return self.numa_mode.engine is not None
-
-    @property
-    def policy_label(self) -> str:
-        return self.numa_mode.name
+    # ------------------------------------------------------------------
+    # Segments
 
     def attach_segment(self, segment: RuntimeSegment) -> None:
         vma = self.aspace.mmap(segment.definition.name, segment.num_pages)
         self._vma_of_segment[id(segment)] = vma
-        # In native mode the page key is the (stable) virtual page.
-        for idx in range(segment.num_pages):
-            vpfn = vma.start_vpfn + idx
-            segment.keys[idx] = vpfn
-            self.tracker.track(vpfn, segment.placement, idx)
+        self._segment_attached(segment, vma)
 
-    def touch_page(self, run: AppRun, segment: RuntimeSegment, idx: int, thread: ThreadCtx) -> int:
-        vma = self._vma_of_segment[id(segment)]
-        vpfn = vma.start_vpfn + idx
+    def _segment_attached(self, segment: RuntimeSegment, vma) -> None:
+        """Hook: per-page bookkeeping once the VMA exists (default none)."""
+
+    def _vpfn_of(self, segment: RuntimeSegment, idx: int) -> int:
+        return self._vma_of_segment[id(segment)].start_vpfn + idx
+
+    # ------------------------------------------------------------------
+    # Page touch / release templates
+
+    def touch_page(
+        self, run: AppRun, segment: RuntimeSegment, idx: int, thread: ThreadCtx
+    ) -> int:
+        vpfn = self._vpfn_of(segment, idx)
         guest_thread = _GuestThreadShim(thread)
-        already = self.aspace.translate(vpfn) is not None
-        mfn = self.aspace.touch(vpfn, guest_thread)
-        if not already:
+        first = self.aspace.translate(vpfn) is None
+        frame = self.aspace.touch(vpfn, guest_thread)
+        if first:
             self._init_faults += 1
-        return self.machine.node_of_frame(mfn)
+        return self._node_of_touch(segment, idx, vpfn, frame, thread, first)
+
+    def _node_of_touch(
+        self,
+        segment: RuntimeSegment,
+        idx: int,
+        vpfn: int,
+        frame: int,
+        thread: ThreadCtx,
+        first: bool,
+    ) -> int:
+        """Hook: resolve the touched page to its NUMA node."""
+        raise NotImplementedError
 
     def release_page(self, run: AppRun, segment: RuntimeSegment, idx: int) -> None:
-        vma = self._vma_of_segment[id(segment)]
-        vpfn = vma.start_vpfn + idx
-        if self.aspace.unmap_page(vpfn):
-            self.numa_mode.release_vpfn(vpfn)
-            segment.placement.release(idx)
+        vpfn = self._vpfn_of(segment, idx)
+        frame = self.aspace.translate(vpfn)
+        if frame is None:
+            return
+        self._release_mapped(segment, idx, vpfn, frame)
+
+    def _release_mapped(
+        self, segment: RuntimeSegment, idx: int, vpfn: int, frame: int
+    ) -> None:
+        """Hook: release a page known to be mapped."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Accounting and policy entry points
 
     def take_init_seconds(self) -> float:
+        """Drain the cost of the guest faults taken since the last call."""
         seconds = self._init_faults * self.fault_cost_seconds
         self._init_faults = 0
         return seconds
 
     def policy_on_epoch(self, run: AppRun, observation) -> float:
-        return self.numa_mode.on_epoch(observation)
+        return self._policy_cost(observation)
+
+    def _policy_cost(self, observation) -> float:
+        """Hook: hand the counter observation to the NUMA policy."""
+        raise NotImplementedError
 
     def teardown(self) -> None:
-        self.numa_mode.shutdown()
+        """Hook: detach policy machinery when the world is torn down."""
+        raise NotImplementedError
 
 
 @dataclass
@@ -226,6 +255,73 @@ class _GuestThreadShim:
     @property
     def vcpu_id(self) -> int:
         return self.ctx.tid
+
+
+# ======================================================================
+# Native Linux
+# ======================================================================
+
+
+class _LinuxContext(_PolicyContext):
+    """Run context of one application on bare-metal Linux."""
+
+    domain_id = 0
+
+    def __init__(
+        self,
+        machine: Machine,
+        numa_mode: LinuxNumaMode,
+        sync_fraction: float,
+        churn_slowdown: float,
+        io_seconds_per_op: float,
+        fault_cost_seconds: float = 0.5e-6,
+    ):
+        super().__init__(
+            sync_fraction=sync_fraction,
+            churn_slowdown=churn_slowdown,
+            io_seconds_per_op=io_seconds_per_op,
+            fault_cost_seconds=fault_cost_seconds,
+        )
+        self.machine = machine
+        self.numa_mode = numa_mode
+        self.tracker = PlacementTracker(node_of_frame=machine.node_of_frame)
+        numa_mode.on_page_placed = self.tracker.page_placed
+        numa_mode.on_page_moved = self.tracker.page_placed
+        # Frame release is keyed by vpfn through the NUMA mode (Carrefour
+        # may migrate a page after the fault, making the page-table frame
+        # stale), so the address space's frame-keyed release is a no-op.
+        self.aspace = GuestAddressSpace(
+            backing=numa_mode.backing, release=lambda mfn: None
+        )
+
+    @property
+    def policy_is_dynamic(self) -> bool:
+        return self.numa_mode.engine is not None
+
+    @property
+    def policy_label(self) -> str:
+        return self.numa_mode.name
+
+    def _segment_attached(self, segment: RuntimeSegment, vma) -> None:
+        # In native mode the page key is the (stable) virtual page.
+        for idx in range(segment.num_pages):
+            vpfn = vma.start_vpfn + idx
+            segment.keys[idx] = vpfn
+            self.tracker.track(vpfn, segment.placement, idx)
+
+    def _node_of_touch(self, segment, idx, vpfn, frame, thread, first) -> int:
+        return self.machine.node_of_frame(frame)
+
+    def _release_mapped(self, segment, idx, vpfn, frame) -> None:
+        self.aspace.unmap_page(vpfn)
+        self.numa_mode.release_vpfn(vpfn)
+        segment.placement.release(idx)
+
+    def _policy_cost(self, observation) -> float:
+        return self.numa_mode.on_epoch(observation)
+
+    def teardown(self) -> None:
+        self.numa_mode.shutdown()
 
 
 class LinuxEnvironment(Environment):
@@ -335,7 +431,7 @@ class LinuxEnvironment(Environment):
 # ======================================================================
 
 
-class _XenContext:
+class _XenContext(_PolicyContext):
     """Run context of one application inside a domU."""
 
     def __init__(
@@ -347,16 +443,18 @@ class _XenContext:
         sync_fraction: float,
         churn_slowdown: float,
         io_seconds_per_op: float,
-        guest_fault_cost_seconds: float = 0.5e-6,
+        fault_cost_seconds: float = 0.5e-6,
     ):
+        super().__init__(
+            sync_fraction=sync_fraction,
+            churn_slowdown=churn_slowdown,
+            io_seconds_per_op=io_seconds_per_op,
+            fault_cost_seconds=fault_cost_seconds,
+        )
         self.hypervisor = hypervisor
         self.domain = domain
         self.guest_alloc = guest_alloc
         self.patch = patch
-        self.sync_fraction = sync_fraction
-        self.churn_slowdown = churn_slowdown
-        self.io_seconds_per_op = io_seconds_per_op
-        self.guest_fault_cost_seconds = guest_fault_cost_seconds
         self.tracker = PlacementTracker(
             node_of_frame=hypervisor.machine.node_of_frame
         )
@@ -365,9 +463,7 @@ class _XenContext:
             backing=lambda vpfn, thread: guest_alloc.alloc(),
             release=guest_alloc.free,
         )
-        self._init_faults = 0
         self._hv_fault_seconds_seen = hypervisor.fault_handler.stats.seconds_spent
-        self._vma_of_segment = {}
 
     @property
     def domain_id(self) -> int:
@@ -383,47 +479,33 @@ class _XenContext:
         policy = self.domain.numa_policy
         return policy.name if policy else "none"
 
-    def attach_segment(self, segment: RuntimeSegment) -> None:
-        vma = self.aspace.mmap(segment.definition.name, segment.num_pages)
-        self._vma_of_segment[id(segment)] = vma
-
-    def touch_page(self, run: AppRun, segment: RuntimeSegment, idx: int, thread: ThreadCtx) -> int:
-        vma = self._vma_of_segment[id(segment)]
-        vpfn = vma.start_vpfn + idx
-        guest_thread = _GuestThreadShim(thread)
-        already = self.aspace.translate(vpfn)
-        gpfn = self.aspace.touch(vpfn, guest_thread)
-        if already is None:
-            self._init_faults += 1
-            segment.keys[idx] = gpfn
-            self.tracker.track(gpfn, segment.placement, idx)
+    def _node_of_touch(self, segment, idx, vpfn, frame, thread, first) -> int:
+        # ``frame`` is a *guest-physical* page here; first touches pin it
+        # as the segment's page key before the machine-level access.
+        if first:
+            segment.keys[idx] = frame
+            self.tracker.track(frame, segment.placement, idx)
         # The machine-level access: valid p2m entries translate for free,
         # invalid ones take the hypervisor fault path into the policy.
-        mfn = self.hypervisor.guest_access(self.domain, thread.tid, gpfn)
+        mfn = self.hypervisor.guest_access(self.domain, thread.tid, frame)
         node = self.hypervisor.machine.node_of_frame(mfn)
         segment.placement.place(idx, node)
         return node
 
-    def release_page(self, run: AppRun, segment: RuntimeSegment, idx: int) -> None:
-        vma = self._vma_of_segment[id(segment)]
-        vpfn = vma.start_vpfn + idx
-        gpfn = self.aspace.translate(vpfn)
-        if gpfn is None:
-            return
-        self.tracker.untrack(gpfn)
+    def _release_mapped(self, segment, idx, vpfn, frame) -> None:
+        self.tracker.untrack(frame)
         segment.placement.release(idx)
         segment.keys[idx] = -1
         self.aspace.unmap_page(vpfn)
 
     def take_init_seconds(self) -> float:
-        guest = self._init_faults * self.guest_fault_cost_seconds
+        guest = super().take_init_seconds()
         total = self.hypervisor.fault_handler.stats.seconds_spent
         hv = total - self._hv_fault_seconds_seen
         self._hv_fault_seconds_seen = total
-        self._init_faults = 0
         return guest + hv
 
-    def policy_on_epoch(self, run: AppRun, observation) -> float:
+    def _policy_cost(self, observation) -> float:
         policy = self.domain.numa_policy
         if policy is None:
             return 0.0

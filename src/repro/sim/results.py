@@ -33,6 +33,35 @@ class EpochRecord:
     policy_cost_seconds: float = 0.0
     migrations: int = 0
 
+    def to_json(self) -> Dict[str, float]:
+        """A JSON-serializable dict that round-trips exactly.
+
+        All fields are floats or ints; ``json`` preserves both exactly
+        (floats via shortest round-trip repr), so
+        ``EpochRecord.from_json(record.to_json()) == record`` bit-for-bit.
+        """
+        return {
+            "epoch": self.epoch,
+            "ops_done": self.ops_done,
+            "imbalance": self.imbalance,
+            "max_link_rho": self.max_link_rho,
+            "local_fraction": self.local_fraction,
+            "policy_cost_seconds": self.policy_cost_seconds,
+            "migrations": self.migrations,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, float]) -> "EpochRecord":
+        return cls(
+            epoch=int(payload["epoch"]),
+            ops_done=float(payload["ops_done"]),
+            imbalance=float(payload["imbalance"]),
+            max_link_rho=float(payload["max_link_rho"]),
+            local_fraction=float(payload["local_fraction"]),
+            policy_cost_seconds=float(payload.get("policy_cost_seconds", 0.0)),
+            migrations=int(payload.get("migrations", 0)),
+        )
+
 
 @dataclass
 class RunResult:
@@ -79,6 +108,30 @@ class RunResult:
     @property
     def total_migrations(self) -> int:
         return int(sum(r.migrations for r in self.records))
+
+    def to_json(self) -> Dict:
+        """JSON-serializable form (see :meth:`EpochRecord.to_json`)."""
+        return {
+            "app": self.app,
+            "environment": self.environment,
+            "policy": self.policy,
+            "completion_seconds": self.completion_seconds,
+            "epochs": self.epochs,
+            "records": [r.to_json() for r in self.records],
+            "stats": dict(self.stats),
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict) -> "RunResult":
+        return cls(
+            app=payload["app"],
+            environment=payload["environment"],
+            policy=payload["policy"],
+            completion_seconds=float(payload["completion_seconds"]),
+            epochs=int(payload["epochs"]),
+            records=[EpochRecord.from_json(r) for r in payload.get("records", [])],
+            stats={k: float(v) for k, v in payload.get("stats", {}).items()},
+        )
 
     def summary(self) -> str:
         """One-line textual summary."""

@@ -1,0 +1,130 @@
+"""Run store behaviour: counters, persistence, invalidation."""
+
+import json
+
+import pytest
+
+from repro.runstore import DiskRunStore, MemoryRunStore, open_store
+from repro.sim.results import RunResult
+from repro.sim.runspec import RunRequest, VmRequest
+
+KEY = "a" * 64
+OTHER = "b" * 64
+
+
+def _results():
+    return [
+        RunResult(
+            app="swaptions",
+            environment="linux",
+            policy="First-Touch",
+            completion_seconds=12.5,
+            epochs=4,
+            stats={"faults": 7.0},
+        )
+    ]
+
+
+def _request():
+    return RunRequest(
+        environment="linux", vms=(VmRequest(app="swaptions", policy="first-touch"),)
+    )
+
+
+class TestMemoryStore:
+    def test_miss_then_hit_counters(self):
+        store = MemoryRunStore()
+        assert store.get(KEY) is None
+        store.put(KEY, _results())
+        assert store.get(KEY) is not None
+        stats = store.stats()
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.entries == 1
+
+    def test_contains_does_not_count(self):
+        store = MemoryRunStore()
+        assert KEY not in store
+        store.put(KEY, _results())
+        assert KEY in store
+        assert store.stats().hits == 0
+        assert store.stats().misses == 0
+
+    def test_clear_keeps_dict_aliases_alive(self):
+        # experiments.common._CACHE aliases this dict; clear() must empty
+        # it in place, never rebind it.
+        store = MemoryRunStore()
+        alias = store.data
+        store.put(KEY, _results())
+        store.clear()
+        assert alias is store.data
+        assert len(alias) == 0
+        assert store.stats().hits == 0
+
+    def test_summary_mentions_counters(self):
+        store = MemoryRunStore()
+        store.get(KEY)
+        text = store.stats().summary()
+        assert "hits" in text
+        assert "misses" in text
+
+
+class TestDiskStore:
+    def test_persists_across_instances(self, tmp_path):
+        store = DiskRunStore(tmp_path / "rs")
+        store.put(KEY, _results(), request=_request())
+        again = DiskRunStore(tmp_path / "rs")
+        loaded = again.get(KEY)
+        assert loaded == _results()
+        assert again.stats().hits == 1
+
+    def test_engine_version_bump_purges(self, tmp_path):
+        root = tmp_path / "rs"
+        store = DiskRunStore(root)
+        store.put(KEY, _results())
+        store.put(OTHER, _results())
+        (root / "engine_version").write_text("0\n")
+        fresh = DiskRunStore(root)
+        assert fresh.invalidated_entries() == 2
+        assert len(fresh) == 0
+        assert fresh.get(KEY) is None
+
+    def test_same_version_keeps_entries(self, tmp_path):
+        root = tmp_path / "rs"
+        DiskRunStore(root).put(KEY, _results())
+        fresh = DiskRunStore(root)
+        assert fresh.invalidated_entries() == 0
+        assert len(fresh) == 1
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        root = tmp_path / "rs"
+        store = DiskRunStore(root)
+        (root / f"{KEY}.json").write_text("{not json")
+        assert store.get(KEY) is None
+        assert not (root / f"{KEY}.json").exists()
+
+    def test_stale_entry_version_is_a_miss(self, tmp_path):
+        root = tmp_path / "rs"
+        store = DiskRunStore(root)
+        entry = {"engine_version": "0", "request": None, "results": []}
+        (root / f"{KEY}.json").write_text(json.dumps(entry))
+        assert store.get(KEY) is None
+
+    def test_entry_records_request_payload(self, tmp_path):
+        root = tmp_path / "rs"
+        store = DiskRunStore(root)
+        request = _request()
+        store.put(request.cache_key(), _results(), request=request)
+        payload = json.loads((root / f"{request.cache_key()}.json").read_text())
+        assert payload["request"] == request.to_json()
+
+
+class TestOpenStore:
+    @pytest.mark.parametrize("spec", [None, "", "memory"])
+    def test_memory_specs(self, spec):
+        assert isinstance(open_store(spec), MemoryRunStore)
+
+    def test_path_spec(self, tmp_path):
+        store = open_store(str(tmp_path / "rs"))
+        assert isinstance(store, DiskRunStore)
+        assert (tmp_path / "rs").is_dir()
