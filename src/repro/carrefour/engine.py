@@ -19,11 +19,16 @@ from repro.carrefour.heuristics import (
     Action,
     PageDecision,
     PlacementFn,
+    interleave_candidates,
     interleave_decisions,
+    migration_candidates,
     migration_decisions,
+    replication_candidates,
     replication_decisions,
+    sample_arrays,
 )
 from repro.carrefour.metrics import CarrefourMetrics, compute_metrics
+from repro.core import batch
 from repro.core.policies.base import EpochObservation
 from repro.hardware.counters import HotPageSample, PerfCounters
 
@@ -85,6 +90,7 @@ class UserComponent:
         metrics: CarrefourMetrics,
         hot_pages: Sequence[HotPageSample],
         placement: PlacementFn,
+        placement_many=None,
     ) -> IterationResult:
         """Choose heuristics from the global metrics, then pick pages."""
         result = IterationResult(metrics=metrics)
@@ -100,6 +106,16 @@ class UserComponent:
         )
         result.migration_enabled = congested
         result.replication_enabled = congested and self.config.enable_replication
+
+        if placement_many is not None and batch.vectorized() and hot_pages:
+            pages, domains, accesses, write_fraction = sample_arrays(hot_pages)
+            nodes = placement_many(pages)
+            if nodes is not None:
+                self._decide_batch(
+                    result, metrics, pages, domains, accesses,
+                    write_fraction, np.asarray(nodes),
+                )
+                return result
 
         budget = self.config.migration_budget
         decided_pages = set()
@@ -139,6 +155,84 @@ class UserComponent:
                 decided_pages.add(decision.page)
         return result
 
+    def _decide_batch(
+        self,
+        result: IterationResult,
+        metrics: CarrefourMetrics,
+        pages: np.ndarray,
+        domains: np.ndarray,
+        accesses: np.ndarray,
+        write_fraction: np.ndarray,
+        nodes: np.ndarray,
+    ) -> None:
+        """Mask-based page selection, decision-for-decision identical to
+        the scalar loops: same budget consumption (candidates count
+        against the budget before cross-heuristic dedup, as in the scalar
+        walk), same first-occurrence dedup order, and the interleave RNG
+        drawn as one array — ``rng.integers(n, size=k)`` consumes the
+        stream exactly like ``k`` sequential scalar draws.
+        """
+        budget = self.config.migration_budget
+        decisions = result.decisions
+        decided: set = set()
+
+        def decided_mask(candidate_pages: np.ndarray) -> np.ndarray:
+            return np.isin(
+                candidate_pages,
+                np.fromiter(decided, dtype=np.int64, count=len(decided)),
+            )
+
+        if result.replication_enabled and budget > len(decisions):
+            mask = replication_candidates(accesses, write_fraction, nodes)
+            for pos in np.nonzero(mask)[0][: budget - len(decisions)].tolist():
+                page = int(pages[pos])
+                decisions.append(
+                    PageDecision(
+                        page, int(domains[pos]), Action.REPLICATE, int(nodes[pos])
+                    )
+                )
+                decided.add(page)
+
+        if result.migration_enabled and budget > len(decisions):
+            mask, dominant = migration_candidates(
+                accesses, nodes, self.config.single_node_share
+            )
+            positions = np.nonzero(mask)[0][: budget - len(decisions)]
+            cand_pages = pages[positions]
+            keep = np.zeros(positions.size, dtype=bool)
+            keep[np.unique(cand_pages, return_index=True)[1]] = True
+            if decided:
+                keep &= ~decided_mask(cand_pages)
+            for pos in positions[keep].tolist():
+                page = int(pages[pos])
+                decisions.append(
+                    PageDecision(
+                        page, int(domains[pos]), Action.MIGRATE, int(dominant[pos])
+                    )
+                )
+                decided.add(page)
+
+        if (
+            result.interleave_enabled
+            and budget > len(decisions)
+            and metrics.overloaded_nodes
+            and metrics.underloaded_nodes
+        ):
+            targets = np.asarray(list(metrics.underloaded_nodes), dtype=np.int64)
+            mask = interleave_candidates(nodes, metrics.overloaded_nodes)
+            if decided:
+                mask &= ~decided_mask(pages)
+            positions = np.nonzero(mask)[0][: budget - len(decisions)]
+            if positions.size:
+                dsts = targets[self.rng.integers(len(targets), size=positions.size)]
+                for pos, dst in zip(positions.tolist(), dsts.tolist()):
+                    decisions.append(
+                        PageDecision(
+                            int(pages[pos]), int(domains[pos]),
+                            Action.INTERLEAVE, int(dst),
+                        )
+                    )
+
 
 class SystemComponent:
     """Counter access and migration execution (inside Xen in the port).
@@ -151,6 +245,10 @@ class SystemComponent:
         apply_fn: executes one decision (a p2m migration in the Xen port,
             a direct page move in Linux mode); returns True when the page
             actually moved.
+        placement_many: optional batch form of ``placement`` — takes a
+            page array, returns per-page nodes with -1 for unmapped (or
+            None when batch resolution is unavailable, falling back to
+            the scalar walk).
     """
 
     OWNER = "carrefour"
@@ -160,10 +258,12 @@ class SystemComponent:
         counters: PerfCounters,
         placement: PlacementFn,
         apply_fn: Callable[[PageDecision], bool],
+        placement_many=None,
     ):
         self.counters = counters
         self.placement = placement
         self.apply_fn = apply_fn
+        self.placement_many = placement_many
         self.total_applied = 0
         self.total_commands = 0
         counters.claim(self.OWNER)
@@ -213,7 +313,10 @@ class CarrefourEngine:
         """One sampling/decision/apply cycle."""
         metrics = compute_metrics(observation)
         result = self.user.decide(
-            metrics, observation.hot_pages, self.system.placement
+            metrics,
+            observation.hot_pages,
+            self.system.placement,
+            self.system.placement_many,
         )
         if result.decisions:
             result.applied = self.command_channel(result.decisions)

@@ -50,6 +50,71 @@ class PageDecision:
 PlacementFn = Callable[[int], Optional[int]]
 
 
+def sample_arrays(hot_pages: Sequence[HotPageSample]):
+    """Columnar arrays over a hot-page sample list.
+
+    The vectorized decide path works on these instead of per-sample
+    attribute access: returns ``(pages, domains, accesses, write_fraction)``
+    where ``accesses`` is the (num_samples, num_nodes) count matrix.
+    """
+    n = len(hot_pages)
+    pages = np.fromiter((s.page for s in hot_pages), dtype=np.int64, count=n)
+    domains = np.fromiter(
+        (s.domain_id for s in hot_pages), dtype=np.int64, count=n
+    )
+    accesses = np.array([s.node_accesses for s in hot_pages], dtype=np.int64)
+    write_fraction = np.fromiter(
+        (s.write_fraction for s in hot_pages), dtype=np.float64, count=n
+    )
+    return pages, domains, accesses, write_fraction
+
+
+def migration_candidates(
+    accesses: np.ndarray, nodes: np.ndarray, single_node_share: float
+):
+    """Mask form of :func:`migration_decisions`'s per-sample filter.
+
+    Returns ``(mask, dominant)``: which samples a scalar walk would pick
+    (dominant node holds at least ``single_node_share`` of the accesses
+    and the page lives elsewhere), and each sample's dominant node.
+    """
+    totals = accesses.sum(axis=1)
+    dominant = np.argmax(accesses, axis=1)
+    dom_counts = accesses[np.arange(accesses.shape[0]), dominant]
+    mask = (
+        (totals > 0)
+        & (dom_counts >= single_node_share * totals)
+        & (nodes >= 0)
+        & (nodes != dominant)
+    )
+    return mask, dominant
+
+
+def interleave_candidates(
+    nodes: np.ndarray, overloaded: Sequence[int]
+) -> np.ndarray:
+    """Mask form of :func:`interleave_decisions`'s per-sample filter."""
+    return (nodes >= 0) & np.isin(
+        nodes, np.asarray(list(overloaded), dtype=np.int64)
+    )
+
+
+def replication_candidates(
+    accesses: np.ndarray,
+    write_fraction: np.ndarray,
+    nodes: np.ndarray,
+    max_write_fraction: float = 0.05,
+    min_sharer_nodes: int = 2,
+) -> np.ndarray:
+    """Mask form of :func:`replication_decisions`'s per-sample filter."""
+    sharers = (accesses > 0).sum(axis=1)
+    return (
+        (write_fraction <= max_write_fraction)
+        & (sharers >= min_sharer_nodes)
+        & (nodes >= 0)
+    )
+
+
 def migration_decisions(
     hot_pages: Sequence[HotPageSample],
     placement: PlacementFn,

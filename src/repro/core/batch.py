@@ -1,0 +1,43 @@
+"""Global switch for the vectorized page path.
+
+The page path (P2M, page-event queues, segment touch loops, Carrefour
+decision filtering) has two implementations with identical observable
+behaviour: the scalar per-page loops the model was written with, and
+NumPy batch operations over the same state. The batch entry points all
+consult :func:`vectorized` and fall back to the scalar loops when it is
+off, which is how the perfbench oracle (``perfbench/oracle.py``) times
+the old path and how the parity tests drive both sides.
+
+Vectorization is on by default; it is an implementation detail, not a
+modelling knob, which is why it lives here rather than on ``SimConfig``
+(it must never reach a cache key).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+_VECTORIZED = True
+
+
+def vectorized() -> bool:
+    """True when batch entry points may take the NumPy fast path."""
+    return _VECTORIZED
+
+
+def set_vectorized(on: bool) -> None:
+    """Flip the fast path globally (the oracle turns it off)."""
+    global _VECTORIZED
+    _VECTORIZED = bool(on)
+
+
+@contextmanager
+def scalar_mode() -> Iterator[None]:
+    """Run a block with the vectorized page path disabled."""
+    previous = _VECTORIZED
+    set_vectorized(False)
+    try:
+        yield
+    finally:
+        set_vectorized(previous)

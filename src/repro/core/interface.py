@@ -24,6 +24,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence
 
+import numpy as np
+
+from repro.core import batch
+from repro.core.page_queue import PageEventBatch
 from repro.errors import P2MError
 from repro.hardware.machine import Machine
 from repro.hypervisor.allocator import XenHeapAllocator
@@ -101,6 +105,25 @@ class InternalInterface:
         self.allocator.free_page(mfn)
         return True
 
+    def invalidate_pages(self, domain: Domain, gpfns: Sequence[int]) -> int:
+        """Bulk :meth:`invalidate_page` over a gpfn array.
+
+        Returns how many entries were actually invalidated (already
+        invalid entries are skipped, exactly like the scalar loop). Falls
+        back to the per-page loop when a sanitizer is attached so traps
+        keep their scalar ordering.
+        """
+        if domain.p2m.sanitizer is not None or not batch.vectorized():
+            return sum(
+                1
+                for gpfn in np.asarray(gpfns, dtype=np.int64).tolist()
+                if self.invalidate_page(domain, gpfn)
+            )
+        _, mfns = domain.p2m.invalidate_many(gpfns)
+        if mfns.size:
+            self.allocator.free_pages(mfns)
+        return int(mfns.size)
+
     # ------------------------------------------------------------------
     # Whole-domain population (map_page applied wholesale): the static
     # boot-time policies use these so they never touch the heap directly.
@@ -158,6 +181,16 @@ class InternalInterface:
             return None
         return self.machine.node_of_frame(entry.mfn)
 
+    def nodes_of_gpfns(self, domain: Domain, gpfns) -> Optional[np.ndarray]:
+        """Batch :meth:`node_of_gpfn`: node per gpfn, -1 where unmapped.
+
+        Returns None when the domain's p2m has no frame geometry attached
+        (callers then fall back to per-page lookups).
+        """
+        if domain.p2m.frames_per_node is None:
+            return None
+        return domain.p2m.nodes_of(gpfns)
+
     def take_migration_seconds(self) -> float:
         """Return and reset the accumulated migration copy time."""
         seconds, self.migration_seconds = self.migration_seconds, 0.0
@@ -198,8 +231,10 @@ class ExternalInterface:
 
     def flush_page_events(self, events: Sequence[Any], vcpu_id: int = 0) -> Any:
         """Send one batched queue of page alloc/release events."""
+        if not isinstance(events, PageEventBatch):
+            events = list(events)
         return self.hypercalls.dispatch(
-            Hypercall.NUMA_PAGE_EVENTS, self.domain_id, vcpu_id, list(events)
+            Hypercall.NUMA_PAGE_EVENTS, self.domain_id, vcpu_id, events
         )
 
     def flush_cost(self, num_events: int) -> float:

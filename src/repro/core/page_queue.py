@@ -18,14 +18,24 @@ performance by 3), so the guest batches events:
   the page is truly free (invalidate it); a newest-allocation means the
   page may already be reused (leave it where it is — copying would cost
   more than it saves).
+
+Each partition is a pair of preallocated ``op``/``gpfn`` arrays with a
+fill counter (so a flush hands the hypervisor a :class:`PageEventBatch`
+of arrays, not a list of objects), and :meth:`PartitionedPageQueue.record_many`
+enqueues a whole gpfn array with the same per-flush cost accounting —
+flushes fire in the order their triggering event would have arrived — as
+the equivalent :meth:`PartitionedPageQueue.record` loop.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
+from repro.core import batch as batch_mode
 from repro.errors import HypercallError
 
 
@@ -42,6 +52,57 @@ class PageEvent:
 
     op: PageOp
     gpfn: int
+
+
+#: Array op codes (the wire format of a flushed batch).
+OP_ALLOC = 0
+OP_RELEASE = 1
+_CODE_OF = {PageOp.ALLOC: OP_ALLOC, PageOp.RELEASE: OP_RELEASE}
+_OP_OF = (PageOp.ALLOC, PageOp.RELEASE)
+
+
+class PageEventBatch:
+    """One flushed queue as parallel ``ops``/``gpfns`` arrays.
+
+    Sequence-compatible with the list of :class:`PageEvent` the queue used
+    to flush (iteration and indexing materialise events on demand), while
+    the replay path reads the arrays directly.
+    """
+
+    __slots__ = ("ops", "gpfns")
+
+    def __init__(self, ops: np.ndarray, gpfns: np.ndarray):
+        self.ops = np.asarray(ops, dtype=np.uint8)
+        self.gpfns = np.asarray(gpfns, dtype=np.int64)
+        if self.ops.shape != self.gpfns.shape:
+            raise HypercallError("batch needs matching op/gpfn arrays")
+
+    def __len__(self) -> int:
+        return int(self.ops.size)
+
+    def __iter__(self) -> Iterator[PageEvent]:
+        for code, gpfn in zip(self.ops.tolist(), self.gpfns.tolist()):
+            yield PageEvent(_OP_OF[code], gpfn)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [
+                PageEvent(_OP_OF[c], g)
+                for c, g in zip(
+                    self.ops[index].tolist(), self.gpfns[index].tolist()
+                )
+            ]
+        return PageEvent(_OP_OF[int(self.ops[index])], int(self.gpfns[index]))
+
+    @classmethod
+    def from_events(cls, events: Sequence[PageEvent]) -> "PageEventBatch":
+        ops = np.fromiter(
+            (_CODE_OF[e.op] for e in events), dtype=np.uint8, count=len(events)
+        )
+        gpfns = np.fromiter(
+            (e.gpfn for e in events), dtype=np.int64, count=len(events)
+        )
+        return cls(ops, gpfns)
 
 
 #: Flush callback: receives the (oldest-first) events, returns nothing.
@@ -66,6 +127,20 @@ class QueueStats:
     @property
     def events_per_flush(self) -> float:
         return self.flushed_events / self.flushes if self.flushes else 0.0
+
+
+def _accumulate(start: float, cost: float, count: int) -> float:
+    """``count`` sequential ``start += cost`` adds, as one cumsum.
+
+    ``np.cumsum`` is sequential left-to-right, so the final element is
+    bit-identical to the scalar accumulation loop.
+    """
+    if count == 0:
+        return start
+    steps = np.empty(count + 1, dtype=np.float64)
+    steps[0] = start
+    steps[1:] = cost
+    return float(np.cumsum(steps)[-1])
 
 
 class PartitionedPageQueue:
@@ -98,7 +173,14 @@ class PartitionedPageQueue:
         self.batch_size = batch_size
         self.num_partitions = num_partitions
         self.append_cost_seconds = append_cost_seconds
-        self._queues: List[List[PageEvent]] = [[] for _ in range(num_partitions)]
+        self._ops = [
+            np.empty(batch_size, dtype=np.uint8) for _ in range(num_partitions)
+        ]
+        self._gpfns = [
+            np.empty(batch_size, dtype=np.int64) for _ in range(num_partitions)
+        ]
+        self._fill = [0] * num_partitions
+        self._pending = 0
         self.stats = QueueStats()
 
     def partition_of(self, gpfn: int) -> int:
@@ -113,12 +195,15 @@ class PartitionedPageQueue:
         is accounted in :attr:`stats`.
         """
         idx = self.partition_of(gpfn)
-        queue = self._queues[idx]
-        queue.append(PageEvent(op, gpfn))
+        fill = self._fill[idx]
+        self._ops[idx][fill] = _CODE_OF[op]
+        self._gpfns[idx][fill] = gpfn
+        self._fill[idx] = fill + 1
+        self._pending += 1
         self.stats.events += 1
         self.stats.lock_acquisitions += 1
         self.stats.append_hold_seconds += self.append_cost_seconds
-        if len(queue) >= self.batch_size:
+        if fill + 1 >= self.batch_size:
             self._flush(idx)
 
     def record_alloc(self, gpfn: int) -> None:
@@ -129,23 +214,115 @@ class PartitionedPageQueue:
         """Shorthand for a release event."""
         self.record(PageOp.RELEASE, gpfn)
 
+    def record_many(self, op: PageOp, gpfns: Union[Sequence[int], np.ndarray]) -> None:
+        """Enqueue one op for a whole gpfn array.
+
+        Equivalent — same flushes, in the same order, with the same stats
+        — to calling :meth:`record` per gpfn; the flush of each partition
+        fires at the position of the event that filled it.
+        """
+        gpfns = np.asarray(gpfns, dtype=np.int64)
+        count = int(gpfns.size)
+        if count == 0:
+            return
+        if not batch_mode.vectorized():
+            for gpfn in gpfns.tolist():
+                self.record(op, gpfn)
+            return
+        code = _CODE_OF[op]
+        size = self.batch_size
+        parts = gpfns % self.num_partitions
+        order = np.argsort(parts, kind="stable")
+        counts = np.bincount(parts, minlength=self.num_partitions)
+        # All appends are accounted up front: append/flush hold times live
+        # in separate accumulators, so the scalar interleaving does not
+        # change either float result.
+        self.stats.events += count
+        self.stats.lock_acquisitions += count
+        self.stats.append_hold_seconds = _accumulate(
+            self.stats.append_hold_seconds, self.append_cost_seconds, count
+        )
+        self._pending += count
+        # Per partition: its (ascending) positions in `gpfns`, and the
+        # [start, end) chunks of that segment each flush covers. A flush
+        # fires at the position of the event that filled the partition,
+        # so flushes across partitions are emitted sorted by trigger.
+        segments: List[np.ndarray] = []
+        flushed_through = [0] * self.num_partitions
+        flushes: List[Tuple[int, int, int, int]] = []
+        offset = 0
+        for idx in range(self.num_partitions):
+            cnt = int(counts[idx])
+            segments.append(order[offset : offset + cnt])
+            offset += cnt
+            start = 0
+            trigger = (size - self._fill[idx]) - 1
+            while trigger < cnt:
+                flushes.append((int(segments[idx][trigger]), idx, start, trigger + 1))
+                start = trigger + 1
+                trigger += size
+            flushed_through[idx] = start
+        for _, idx, start, end in sorted(flushes):
+            chunk = gpfns[segments[idx][start:end]]
+            fill = self._fill[idx]
+            ops = np.full(fill + chunk.size, code, dtype=np.uint8)
+            out = np.empty(fill + chunk.size, dtype=np.int64)
+            if fill:
+                ops[:fill] = self._ops[idx][:fill]
+                out[:fill] = self._gpfns[idx][:fill]
+                self._fill[idx] = 0
+            out[fill:] = chunk
+            self._emit(PageEventBatch(ops, out))
+        # Whatever did not trigger a flush stays buffered.
+        for idx in range(self.num_partitions):
+            rest = segments[idx][flushed_through[idx] :]
+            if rest.size == 0:
+                continue
+            fill = self._fill[idx]
+            self._ops[idx][fill : fill + rest.size] = code
+            self._gpfns[idx][fill : fill + rest.size] = gpfns[rest]
+            self._fill[idx] = fill + int(rest.size)
+
     def flush_all(self) -> None:
         """Force-flush every partition (e.g. before a policy switch)."""
         for idx in range(self.num_partitions):
-            if self._queues[idx]:
+            if self._fill[idx]:
                 self._flush(idx)
 
     def pending(self) -> int:
-        """Events recorded but not yet flushed."""
-        return sum(len(q) for q in self._queues)
+        """Events recorded but not yet flushed (maintained, not scanned)."""
+        return self._pending
 
     def _flush(self, idx: int) -> None:
-        queue = self._queues[idx]
-        events, self._queues[idx] = queue, []
+        fill = self._fill[idx]
+        events = PageEventBatch(
+            self._ops[idx][:fill].copy(), self._gpfns[idx][:fill].copy()
+        )
+        self._fill[idx] = 0
+        self._emit(events)
+
+    def _emit(self, events: PageEventBatch) -> None:
+        self._pending -= len(events)
         self.stats.flushes += 1
         self.stats.flushed_events += len(events)
         self.stats.flush_hold_seconds += self.flush_cost_fn(len(events))
         self.flush_fn(events)
+
+
+def newest_wins(events: PageEventBatch) -> Tuple[np.ndarray, int]:
+    """Newest-wins resolution of one batch (paper section 4.2.4).
+
+    Returns ``(release_gpfns, skipped)``: the pages whose most recent
+    event is a RELEASE — in the order a newest-first scalar walk would
+    visit them — and the count whose most recent event is an ALLOC.
+    """
+    reversed_gpfns = events.gpfns[::-1]
+    reversed_ops = events.ops[::-1]
+    _, first_seen = np.unique(reversed_gpfns, return_index=True)
+    newest_ops = reversed_ops[first_seen]
+    release_positions = np.sort(first_seen[newest_ops == OP_RELEASE])
+    skipped = int(np.count_nonzero(newest_ops == OP_ALLOC))
+    return reversed_gpfns[release_positions], skipped
 
 
 def replay_page_events(
@@ -171,6 +348,13 @@ def replay_page_events(
         (invalidated, skipped_reallocated): pages invalidated, and pages
         whose newest event was an allocation.
     """
+    if isinstance(events, PageEventBatch) and batch_mode.vectorized():
+        release_gpfns, skipped = newest_wins(events)
+        invalidated = 0
+        for gpfn in release_gpfns.tolist():
+            if invalidate(gpfn):
+                invalidated += 1
+        return invalidated, skipped
     seen: set = set()
     invalidated = 0
     skipped = 0

@@ -55,6 +55,7 @@ class CarrefourPolicy(NumaPolicy):
             counters=internal.machine.counters,
             placement=self._placement,
             apply_fn=self._apply_decision,
+            placement_many=self._placement_many,
         )
         self.engine = CarrefourEngine(
             system=system,
@@ -120,6 +121,11 @@ class CarrefourPolicy(NumaPolicy):
         if self._current_domain is None:
             return None
         return self.internal.node_of_gpfn(self._current_domain, page)
+
+    def _placement_many(self, pages) -> Optional[np.ndarray]:
+        if self._current_domain is None:
+            return None
+        return self.internal.nodes_of_gpfns(self._current_domain, pages)
 
     def _apply_decision(self, decision: PageDecision) -> bool:
         if self._current_domain is None:

@@ -21,8 +21,14 @@ from __future__ import annotations
 
 from typing import Sequence, Tuple
 
+from repro.core import batch
 from repro.core.interface import InternalInterface
-from repro.core.page_queue import PageEvent, replay_page_events
+from repro.core.page_queue import (
+    PageEvent,
+    PageEventBatch,
+    newest_wins,
+    replay_page_events,
+)
 from repro.core.policies.base import NumaPolicy
 from repro.hypervisor.domain import Domain
 
@@ -31,6 +37,11 @@ class FirstTouchPolicy(NumaPolicy):
     """Hypervisor-level first-touch via the page-event hypercall."""
 
     name = "first-touch"
+
+    #: The fault answer is always the faulting vCPU's node (see
+    #: :meth:`on_hypervisor_fault`), which lets the fault handler resolve
+    #: a whole array of init faults from one vCPU in a single batch.
+    fault_node_is_vcpu_node = True
 
     def __init__(self, internal: InternalInterface, populate_lazily: bool = True):
         """
@@ -75,9 +86,13 @@ class FirstTouchPolicy(NumaPolicy):
         self, domain: Domain, events: Sequence[PageEvent]
     ) -> Tuple[int, int]:
         """Replay one flushed queue, newest entry first (section 4.2.4)."""
-        invalidated, skipped = replay_page_events(
-            events, lambda gpfn: self.internal.invalidate_page(domain, gpfn)
-        )
+        if isinstance(events, PageEventBatch) and batch.vectorized():
+            release_gpfns, skipped = newest_wins(events)
+            invalidated = self.internal.invalidate_pages(domain, release_gpfns)
+        else:
+            invalidated, skipped = replay_page_events(
+                events, lambda gpfn: self.internal.invalidate_page(domain, gpfn)
+            )
         self.pages_invalidated += invalidated
         self.reallocations_skipped += skipped
         return invalidated, skipped

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.carrefour.engine import CarrefourConfig
 from repro.core.interface import InternalInterface
+from repro.core.page_queue import PageEventBatch
 from repro.core.policies.base import NumaPolicy, PolicyName, PolicySpec
 from repro.core.policies.carrefour import CarrefourPolicy
 from repro.core.policies.factory import make_policy
@@ -153,7 +154,9 @@ class PolicyManager:
         return policy.name
 
     def _hc_page_events(self, domain_id: int, vcpu_id: int, args: Any):
-        if args is not None and not isinstance(args, (list, tuple)):
+        if args is not None and not isinstance(
+            args, (list, tuple, PageEventBatch)
+        ):
             raise HypercallError("NUMA_PAGE_EVENTS needs a list of events")
         domain = self.domain(domain_id)
         policy = domain.numa_policy

@@ -20,11 +20,15 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+import numpy as np
+
 from repro.errors import OutOfMemoryError
 from repro.hardware.machine import Machine
 
 #: Called with the page frame number on every alloc/release.
 PageHook = Callable[[int], None]
+#: Called with a whole gpfn array when a batch allocation happens.
+PageBatchHook = Callable[[np.ndarray], None]
 
 
 class GuestPageAllocator:
@@ -54,6 +58,7 @@ class GuestPageAllocator:
         self.pages_zeroed = 0
         self.on_alloc: Optional[PageHook] = None
         self.on_release: Optional[PageHook] = None
+        self.on_alloc_many: Optional[PageBatchHook] = None
 
     def alloc(self) -> int:
         """Allocate one guest-physical page (topology-oblivious)."""
@@ -68,6 +73,27 @@ class GuestPageAllocator:
         if self.on_alloc is not None:
             self.on_alloc(gpfn)
         return gpfn
+
+    def alloc_many(self, count: int) -> Optional[np.ndarray]:
+        """Allocate ``count`` consecutive bump pages in one step.
+
+        The batch init path needs a *contiguous* gpfn run (so segments
+        can be tracked as key ranges); the bump pointer provides one only
+        while no recycled pages are pending. Returns None when the free
+        list cannot serve the batch that way — callers fall back to the
+        scalar :meth:`alloc` loop.
+        """
+        if count < 1 or self._recycled or self._bump + count > self._limit:
+            return None
+        gpfns = np.arange(self._bump, self._bump + count, dtype=np.int64)
+        self._allocated.update(range(self._bump, self._bump + count))
+        self._bump += count
+        if self.on_alloc_many is not None:
+            self.on_alloc_many(gpfns)
+        elif self.on_alloc is not None:
+            for gpfn in gpfns.tolist():
+                self.on_alloc(gpfn)
+        return gpfns
 
     def free(self, gpfn: int) -> None:
         """Release one page back to the free list (zeroing it)."""

@@ -12,6 +12,9 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
+from repro.core import batch
 from repro.core.interface import ExternalInterface
 from repro.core.page_queue import PageOp, PartitionedPageQueue
 from repro.guest.page_alloc import GuestPageAllocator
@@ -48,10 +51,15 @@ class PvNumaPatch:
         )
         allocator.on_alloc = self._on_alloc
         allocator.on_release = self._on_release
+        allocator.on_alloc_many = self._on_alloc_many
 
     def _on_alloc(self, gpfn: int) -> None:
         if self.enabled:
             self.queue.record(PageOp.ALLOC, gpfn)
+
+    def _on_alloc_many(self, gpfns: np.ndarray) -> None:
+        if self.enabled:
+            self.queue.record_many(PageOp.ALLOC, gpfns)
 
     def _on_release(self, gpfn: int) -> None:
         if self.enabled:
@@ -68,6 +76,11 @@ class PvNumaPatch:
         hypervisor can invalidate every page the guest is not using.
         Returns the number of pages reported.
         """
+        if batch.vectorized():
+            free = np.fromiter(self.allocator.iter_free(), dtype=np.int64)
+            self.queue.record_many(PageOp.RELEASE, free)
+            self.queue.flush_all()
+            return int(free.size)
         count = 0
         for gpfn in self.allocator.iter_free():
             self.queue.record(PageOp.RELEASE, gpfn)
@@ -83,3 +96,4 @@ class PvNumaPatch:
         """Remove the hooks (guest shutdown)."""
         self.allocator.on_alloc = None
         self.allocator.on_release = None
+        self.allocator.on_alloc_many = None

@@ -76,6 +76,10 @@ class Machine:
         """NUMA node owning machine frame ``mfn``."""
         return self.memory.node_of_frame(mfn)
 
+    def nodes_of_frames(self, mfns: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`node_of_frame` over an mfn array."""
+        return self.memory.nodes_of_frames(mfns)
+
     # ------------------------------------------------------------------
     # Epoch accounting
 

@@ -14,7 +14,9 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.errors import OutOfMemoryError, TopologyError
 
@@ -114,6 +116,37 @@ class _ExtentList:
             del self._starts[i]
             del self._lengths[i]
 
+    def alloc_singles(self, count: int) -> Optional["np.ndarray"]:
+        """Allocate ``count`` single frames, as repeated ``alloc(1)`` would.
+
+        Repeated one-frame first-fit allocations drain the sorted extent
+        list front to back, so the result is simply the first ``count``
+        free frames in ascending order. Returns None (allocating nothing)
+        if fewer than ``count`` frames are free.
+        """
+        if count > self.free_frames:
+            return None
+        out = np.empty(count, dtype=np.int64)
+        filled = 0
+        consumed = 0
+        while filled < count:
+            start = self._starts[consumed]
+            length = self._lengths[consumed]
+            take = min(length, count - filled)
+            out[filled : filled + take] = np.arange(
+                start, start + take, dtype=np.int64
+            )
+            filled += take
+            if take == length:
+                consumed += 1
+            else:
+                self._starts[consumed] = start + take
+                self._lengths[consumed] = length - take
+        del self._starts[:consumed]
+        del self._lengths[:consumed]
+        self.free_frames -= count
+        return out
+
     def largest_extent(self) -> int:
         """Length of the largest free extent (0 when exhausted)."""
         return max(self._lengths, default=0)
@@ -171,6 +204,17 @@ class MachineMemory:
             raise TopologyError(f"mfn {mfn:#x} out of range")
         return mfn // self.frames_per_node
 
+    def nodes_of_frames(self, mfns: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`node_of_frame` over a whole mfn array."""
+        mfns = np.asarray(mfns, dtype=np.int64)
+        if mfns.size:
+            bad = (mfns < 0) | (mfns >= self.total_frames)
+            if bad.any():
+                raise TopologyError(
+                    f"mfn {int(mfns[bad][0]):#x} out of range"
+                )
+        return mfns // self.frames_per_node
+
     # ------------------------------------------------------------------
     # Allocation
 
@@ -199,6 +243,52 @@ class MachineMemory:
         if self.sanitizer is not None:
             self.sanitizer.frames_freed(mfn, count)
         self._extents[node].free(mfn, count)
+
+    def alloc_singles(self, node: NodeId, count: int) -> Optional[np.ndarray]:
+        """Allocate ``count`` single frames on ``node`` in one call.
+
+        State-identical to ``count`` successive ``alloc_frames(node, 1)``
+        calls (single-frame first-fit drains extents front to back);
+        returns the ascending mfn array, or None — allocating nothing —
+        when the node has fewer than ``count`` free frames.
+        """
+        self._check_node(node)
+        if count < 1:
+            raise OutOfMemoryError("allocation count must be positive")
+        mfns = self._extents[node].alloc_singles(count)
+        if mfns is not None and self.sanitizer is not None:
+            for mfn in mfns.tolist():
+                self.sanitizer.frames_allocated(int(mfn), 1)
+        return mfns
+
+    def free_frames_many(self, mfns: Union[Sequence[int], np.ndarray]) -> None:
+        """Free a set of single frames in one call.
+
+        The final extent state after a set of frees is order-independent
+        (extents are kept sorted and coalesced), so this sorts the frames,
+        splits them into per-node contiguous runs and frees each run —
+        state-identical to freeing them one by one, including raising
+        the same double-free error on duplicates.
+        """
+        mfns = np.sort(np.asarray(mfns, dtype=np.int64))
+        if mfns.size == 0:
+            return
+        if self.sanitizer is not None:
+            for mfn in mfns.tolist():
+                self.free_frames(int(mfn), 1)
+            return
+        if int(mfns[0]) < 0 or int(mfns[-1]) >= self.total_frames:
+            bad = int(mfns[0]) if int(mfns[0]) < 0 else int(mfns[-1])
+            raise TopologyError(f"mfn {bad:#x} out of range")
+        nodes = mfns // self.frames_per_node
+        breaks = np.nonzero((np.diff(mfns) != 1) | (np.diff(nodes) != 0))[0] + 1
+        starts = np.concatenate(([0], breaks))
+        ends = np.concatenate((breaks, [mfns.size]))
+        for run_start, run_end in zip(starts.tolist(), ends.tolist()):
+            first = int(mfns[run_start])
+            self._extents[first // self.frames_per_node].free(
+                first, run_end - run_start
+            )
 
     def free_frames_on(self, node: NodeId) -> int:
         """Number of free frames on ``node``."""

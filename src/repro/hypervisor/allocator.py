@@ -18,13 +18,23 @@ Linux-style round-robin fallback when the preferred node is exhausted.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.config import SimConfig
 from repro.errors import OutOfMemoryError
 from repro.hardware.machine import Machine
 from repro.hypervisor.domain import Domain
 from repro.util import RoundRobin as _RoundRobin
+
+
+def _vectorized() -> bool:
+    # Imported lazily: repro.core's package init imports this module
+    # (via the interface), so a top-level import would be circular.
+    from repro.core import batch
+
+    return batch.vectorized()
 
 GIB = 1 << 30
 MIB_2 = 2 << 20
@@ -139,9 +149,24 @@ class XenHeapAllocator:
 
     def depopulate(self, domain: Domain) -> int:
         """Free every frame of the domain (teardown). Returns frames freed."""
+        p2m = domain.p2m
+        if (
+            _vectorized()
+            and p2m.sanitizer is None
+            and self.machine.memory.sanitizer is None
+        ):
+            gpfns = np.arange(
+                domain.gpfn_range().start,
+                domain.gpfn_range().stop,
+                dtype=np.int64,
+            )
+            mfns = p2m.remove_many(gpfns)
+            self.machine.memory.free_frames_many(mfns)
+            domain.built = False
+            return int(mfns.size)
         freed = 0
         for gpfn in list(domain.gpfn_range()):
-            mfn = domain.p2m.remove(gpfn)
+            mfn = p2m.remove(gpfn)
             if mfn is not None:
                 self.machine.memory.free_frames(mfn, 1)
                 freed += 1
@@ -172,14 +197,89 @@ class XenHeapAllocator:
         """Return one frame to the heap."""
         self.machine.memory.free_frames(mfn, 1)
 
+    def alloc_pages_on(self, node: int, count: int) -> np.ndarray:
+        """``count`` frames as repeated :meth:`alloc_page_on` calls.
+
+        Per node the frames come off the extent list front to back, so
+        draining the preferred node and then the round-robin fallback
+        nodes in bulk yields exactly the frames the scalar loop would.
+        """
+        memory = self.machine.memory
+        if count < 1:
+            return np.empty(0, dtype=np.int64)
+        if memory.sanitizer is not None or not _vectorized():
+            return np.fromiter(
+                (self.alloc_page_on(node) for _ in range(count)),
+                dtype=np.int64,
+                count=count,
+            )
+        out = np.empty(count, dtype=np.int64)
+        filled = 0
+        num = self.machine.num_nodes
+        for offset in range(num):
+            if filled == count:
+                break
+            candidate = (node + offset) % num
+            take = min(memory.free_frames_on(candidate), count - filled)
+            if take:
+                out[filled : filled + take] = memory.alloc_singles(
+                    candidate, take
+                )
+                filled += take
+        if filled < count:
+            raise OutOfMemoryError("machine is out of memory")
+        return out
+
+    def free_pages(self, mfns: Union[Sequence[int], np.ndarray]) -> None:
+        """Return a batch of single frames to the heap."""
+        if self.machine.memory.sanitizer is not None or not _vectorized():
+            for mfn in np.asarray(mfns, dtype=np.int64).tolist():
+                self.free_page(mfn)
+            return
+        self.machine.memory.free_frames_many(mfns)
+
     # ------------------------------------------------------------------
     # Internals
 
     def _populate_pages(
         self, domain: Domain, gpfn: int, count: int, rr: "_RoundRobin"
     ) -> int:
-        for _ in range(count):
-            node = rr.next()
+        if count < 1:
+            return gpfn
+        memory = self.machine.memory
+        if (
+            not _vectorized()
+            or domain.p2m.sanitizer is not None
+            or memory.sanitizer is not None
+        ):
+            for _ in range(count):
+                node = rr.next()
+                mfn = self.alloc_page_on(node)
+                domain.p2m.set_entry(gpfn, mfn)
+                gpfn += 1
+            return gpfn
+        pattern = np.asarray(rr.next_many(count), dtype=np.int64)
+        node_counts = np.bincount(pattern, minlength=self.machine.num_nodes)
+        if all(
+            memory.free_frames_on(n) >= int(c)
+            for n, c in enumerate(node_counts.tolist())
+            if c
+        ):
+            # Per node, repeated single allocations are front-to-back and
+            # independent of the other nodes, so each node's share can be
+            # carved out in one call and scattered into pattern order.
+            mfns = np.empty(count, dtype=np.int64)
+            for node, node_count in enumerate(node_counts.tolist()):
+                if node_count:
+                    positions = np.nonzero(pattern == node)[0]
+                    mfns[positions] = memory.alloc_singles(node, node_count)
+            domain.p2m.set_entries(
+                np.arange(gpfn, gpfn + count, dtype=np.int64), mfns
+            )
+            return gpfn + count
+        # A node would run dry mid-way: the cross-node fallback order is
+        # position-dependent, so replay the already-drawn pattern serially.
+        for node in pattern.tolist():
             mfn = self.alloc_page_on(node)
             domain.p2m.set_entry(gpfn, mfn)
             gpfn += 1
@@ -200,8 +300,18 @@ class XenHeapAllocator:
                 if mfn is None:
                     continue
                 rr.next()
-                for i in range(region):
-                    domain.p2m.set_entry(gpfn + i, mfn + i)
+                if (
+                    region > 1
+                    and _vectorized()
+                    and domain.p2m.sanitizer is None
+                ):
+                    domain.p2m.set_entries(
+                        np.arange(gpfn, gpfn + region, dtype=np.int64),
+                        np.arange(mfn, mfn + region, dtype=np.int64),
+                    )
+                else:
+                    for i in range(region):
+                        domain.p2m.set_entry(gpfn + i, mfn + i)
                 gpfn += region
                 remaining -= region
                 placed = True

@@ -69,7 +69,7 @@ class Domain:
         self.memory_pages = memory_pages
         self.home_nodes: Tuple[int, ...] = tuple(home_nodes)
         self.vcpus: List[VCpu] = [VCpu(domain_id, i) for i in range(num_vcpus)]
-        self.p2m = P2MTable(domain_id)
+        self.p2m = P2MTable(domain_id, capacity=memory_pages)
         #: The active NUMA policy object (set by the policy manager).
         self.numa_policy: Optional["NumaPolicy"] = None
         #: True once the domain's memory is populated.

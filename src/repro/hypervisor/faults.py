@@ -17,9 +17,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, TYPE_CHECKING
 
+import numpy as np
+
 from repro.errors import P2MError
 from repro.hypervisor.allocator import XenHeapAllocator
 from repro.hypervisor.domain import Domain
+from repro.util import accumulate_cost
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.policies.base import NumaPolicy
@@ -54,9 +57,9 @@ class FaultHandler:
         picks a node (first-touch answers ``node_of_vcpu``), the handler
         allocates and maps a frame there.
         """
-        entry = domain.p2m.lookup(gpfn)
-        if entry is not None and entry.valid:
-            return entry.mfn
+        mfn = domain.p2m.mfn_if_valid(gpfn)
+        if mfn >= 0:
+            return mfn
         return self.handle_fault(domain, vcpu_id, gpfn, node_of_vcpu)
 
     def handle_fault(self, domain: Domain, vcpu_id: int, gpfn: int, node_of_vcpu: int) -> int:
@@ -72,6 +75,40 @@ class FaultHandler:
         mfn = self.allocator.alloc_page_on(node)
         domain.p2m.set_entry(gpfn, mfn)
         return mfn
+
+    def handle_faults(
+        self,
+        domain: Domain,
+        vcpu_id: int,
+        gpfns: np.ndarray,
+        node_of_vcpu: int,
+    ) -> Optional[np.ndarray]:
+        """Take the fault path for a whole (all-invalid) gpfn array.
+
+        Only usable when the policy's fault answer does not depend on the
+        individual gpfn — policies advertise that with
+        ``fault_node_is_vcpu_node`` (first-touch: the faulting vCPU's
+        node). Returns None when the answer is per-page, in which case
+        the caller must fault page by page; otherwise the stats, the
+        frames and the entries come out exactly as the scalar loop's.
+        """
+        policy = domain.numa_policy
+        if policy is None:
+            node = domain.home_nodes[0]
+        elif getattr(policy, "fault_node_is_vcpu_node", False):
+            node = node_of_vcpu
+        else:
+            return None
+        count = int(len(gpfns))
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        self.stats.hypervisor_faults += count
+        self.stats.seconds_spent = accumulate_cost(
+            self.stats.seconds_spent, self.fault_cost_seconds, count
+        )
+        mfns = self.allocator.alloc_pages_on(node, count)
+        domain.p2m.set_entries(gpfns, mfns)
+        return mfns
 
     def on_write_protected(self, domain: Domain, gpfn: int, wait_seconds: float = 1.0e-6) -> None:
         """Account a write fault against a page being migrated."""

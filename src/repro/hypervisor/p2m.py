@@ -11,19 +11,44 @@ the paper (section 4.1):
   entry invalid, so the access raises a hypervisor page fault;
 * Carrefour *migrates* a page by write-protecting the entry, copying the
   frame, then remapping.
+
+Like a real page table — and unlike the dict-of-objects backend this
+replaced (kept as :class:`repro.perfbench.oracle.DictP2MTable`) — the
+table is contiguous array state: parallel ``mfn``/``flags``/``node``
+arrays indexed by gpfn, with maintained entry/valid counts. The scalar
+method API is unchanged; ``set_entries``/``invalidate_many``/
+``translate_many`` operate on whole gpfn arrays. When a sanitizer is
+attached the batch entry points delegate to the scalar loops so traps
+fire per-entry in the same order, with the same already-applied prefix,
+as the dict backend.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Iterator, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.errors import P2MError
+
+#: Flag bits of the packed ``flags`` array. PRESENT distinguishes "never
+#: populated / removed" from "populated but invalid" (the first-touch
+#: trap state, which keeps PRESENT).
+PRESENT = 1
+VALID = 2
+WRITABLE = 4
+
+_GpfnArray = Union[Sequence[int], np.ndarray]
 
 
 @dataclass
 class P2MEntry:
-    """One hypervisor page table entry.
+    """One hypervisor page table entry (plain-record form).
+
+    The array backend hands out live :class:`P2MEntryView` objects with
+    the same attributes; this dataclass remains the storage of the scalar
+    oracle backend and the documented shape of an entry.
 
     Attributes:
         mfn: backing machine frame.
@@ -36,6 +61,60 @@ class P2MEntry:
     writable: bool = True
 
 
+class P2MEntryView:
+    """Live view of one array-backed entry.
+
+    Attribute-compatible with :class:`P2MEntry`; reads and writes go
+    straight to the table's arrays (the sanitizer tests flip ``writable``
+    through this view to forge out-of-order migrations).
+    """
+
+    __slots__ = ("_table", "_gpfn")
+
+    def __init__(self, table: "P2MTable", gpfn: int):
+        self._table = table
+        self._gpfn = gpfn
+
+    @property
+    def mfn(self) -> int:
+        return int(self._table._mfn[self._gpfn])
+
+    @mfn.setter
+    def mfn(self, value: int) -> None:
+        self._table._mfn[self._gpfn] = value
+        self._table._sync_node(self._gpfn)
+
+    @property
+    def valid(self) -> bool:
+        return bool(self._table._flags[self._gpfn] & VALID)
+
+    @valid.setter
+    def valid(self, value: bool) -> None:
+        flags = int(self._table._flags[self._gpfn])
+        if bool(flags & VALID) == bool(value):
+            return
+        self._table._flags[self._gpfn] = flags ^ VALID
+        self._table._num_valid += 1 if value else -1
+
+    @property
+    def writable(self) -> bool:
+        return bool(self._table._flags[self._gpfn] & WRITABLE)
+
+    @writable.setter
+    def writable(self, value: bool) -> None:
+        flags = int(self._table._flags[self._gpfn])
+        if value:
+            self._table._flags[self._gpfn] = flags | WRITABLE
+        else:
+            self._table._flags[self._gpfn] = flags & ~WRITABLE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"P2MEntryView(gpfn={self._gpfn}, mfn={self.mfn}, "
+            f"valid={self.valid}, writable={self.writable})"
+        )
+
+
 class P2MTable:
     """Per-domain guest-physical to machine frame mapping.
 
@@ -43,23 +122,60 @@ class P2MTable:
     An entry can also exist but be *invalid* — the distinction matters for
     first-touch, which invalidates entries of released pages while the
     guest still considers those gpfns part of its physical memory.
+
+    Args:
+        domain_id: owning domain.
+        capacity: initial gpfn capacity hint (the arrays grow
+            geometrically past it on demand).
     """
 
-    def __init__(self, domain_id: int):
+    def __init__(self, domain_id: int, capacity: int = 1024):
         self.domain_id = domain_id
-        self._entries: Dict[int, P2MEntry] = {}
+        cap = max(int(capacity), 1)
+        self._mfn = np.full(cap, -1, dtype=np.int64)
+        self._flags = np.zeros(cap, dtype=np.uint8)
+        self._node = np.full(cap, -1, dtype=np.int32)
+        self._num_entries = 0
+        self._num_valid = 0
         # Statistics used by the experiments.
         self.faults_taken = 0
         self.invalidations = 0
         self.migrations = 0
         #: Optional observer notified of mapping changes; the simulation
         #: engine uses it to keep page->node placement views in sync.
-        #: Must provide ``entry_set(gpfn, mfn)`` and ``entry_invalidated(gpfn)``.
+        #: Must provide ``entry_set(gpfn, mfn)`` and ``entry_invalidated(gpfn)``;
+        #: batch mutations use ``entries_set(gpfns, mfns)`` /
+        #: ``entries_invalidated(gpfns)`` when the observer has them.
         self.observer: Optional[object] = None
         #: Optional :class:`repro.lint.sanitizer.P2MSanitizer`; checked
         #: before every mutation so a trapped violation leaves the table
         #: unchanged. Attached by the hypervisor when sanitizing.
         self.sanitizer: Optional[object] = None
+        #: When the hypervisor sets this, the ``node`` array mirrors
+        #: ``mfn // frames_per_node`` so placement consumers can read
+        #: page nodes without translating frame by frame.
+        self.frames_per_node: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Array plumbing
+
+    def _ensure(self, gpfn: int) -> None:
+        cap = self._mfn.size
+        if gpfn < cap:
+            return
+        new_cap = max(cap * 2, gpfn + 1)
+        for name, fill in (("_mfn", -1), ("_flags", 0), ("_node", -1)):
+            old = getattr(self, name)
+            grown = np.full(new_cap, fill, dtype=old.dtype)
+            grown[:cap] = old
+            setattr(self, name, grown)
+
+    def _sync_node(self, gpfn: int) -> None:
+        mfn = int(self._mfn[gpfn])
+        if self.frames_per_node is not None and mfn >= 0:
+            self._node[gpfn] = mfn // self.frames_per_node
+        else:
+            self._node[gpfn] = -1
 
     # ------------------------------------------------------------------
     # Population
@@ -70,7 +186,15 @@ class P2MTable:
             raise P2MError("frame numbers must be non-negative")
         if self.sanitizer is not None:
             self.sanitizer.entry_set(self.domain_id, gpfn, mfn)
-        self._entries[gpfn] = P2MEntry(mfn=mfn, valid=True, writable=writable)
+        self._ensure(gpfn)
+        flags = int(self._flags[gpfn])
+        if not flags & PRESENT:
+            self._num_entries += 1
+        if not flags & VALID:
+            self._num_valid += 1
+        self._flags[gpfn] = PRESENT | VALID | (WRITABLE if writable else 0)
+        self._mfn[gpfn] = mfn
+        self._sync_node(gpfn)
         if self.observer is not None:
             self.observer.entry_set(gpfn, mfn)
 
@@ -81,12 +205,17 @@ class P2MTable:
         can return it to the heap), or None if the entry was absent or
         already invalid.
         """
-        entry = self._entries.get(gpfn)
-        if entry is None or not entry.valid:
+        if gpfn < 0 or gpfn >= self._mfn.size:
             return None
-        entry.valid = False
+        flags = int(self._flags[gpfn])
+        if not flags & VALID:
+            return None
+        self._flags[gpfn] = flags & ~VALID
+        self._num_valid -= 1
         self.invalidations += 1
-        mfn, entry.mfn = entry.mfn, -1
+        mfn = int(self._mfn[gpfn])
+        self._mfn[gpfn] = -1
+        self._node[gpfn] = -1
         if self.sanitizer is not None:
             self.sanitizer.entry_invalidated(self.domain_id, gpfn)
         if self.observer is not None:
@@ -95,21 +224,161 @@ class P2MTable:
 
     def remove(self, gpfn: int) -> Optional[int]:
         """Drop the entry entirely (domain teardown). Returns the mfn if valid."""
-        entry = self._entries.pop(gpfn, None)
-        if entry is None or not entry.valid:
+        if gpfn < 0 or gpfn >= self._mfn.size:
             return None
+        flags = int(self._flags[gpfn])
+        if not flags & PRESENT:
+            return None
+        self._num_entries -= 1
+        mfn = int(self._mfn[gpfn])
+        self._flags[gpfn] = 0
+        self._mfn[gpfn] = -1
+        self._node[gpfn] = -1
+        if not flags & VALID:
+            return None
+        self._num_valid -= 1
         if self.sanitizer is not None:
             self.sanitizer.entry_invalidated(self.domain_id, gpfn)
         if self.observer is not None:
             self.observer.entry_invalidated(gpfn)
-        return entry.mfn
+        return mfn
+
+    # ------------------------------------------------------------------
+    # Batch population (the vectorized page path)
+
+    def set_entries(
+        self, gpfns: _GpfnArray, mfns: _GpfnArray, writable: bool = True
+    ) -> None:
+        """Map each ``gpfns[i]`` to ``mfns[i]`` in one array operation.
+
+        Equivalent to calling :meth:`set_entry` per pair, except that
+        validation is all-or-nothing and the observer sees one batch
+        notification. ``gpfns`` must be duplicate-free (duplicates and
+        sanitized tables fall back to the scalar loop).
+        """
+        gpfns = np.asarray(gpfns, dtype=np.int64)
+        mfns = np.asarray(mfns, dtype=np.int64)
+        if gpfns.shape != mfns.shape:
+            raise P2MError("set_entries needs matching gpfn/mfn arrays")
+        if gpfns.size == 0:
+            return
+        if self.sanitizer is not None or np.unique(gpfns).size != gpfns.size:
+            for gpfn, mfn in zip(gpfns.tolist(), mfns.tolist()):
+                self.set_entry(gpfn, mfn, writable)
+            return
+        if int(gpfns.min()) < 0 or int(mfns.min()) < 0:
+            raise P2MError("frame numbers must be non-negative")
+        self._ensure(int(gpfns.max()))
+        flags = self._flags[gpfns]
+        self._num_entries += int(np.count_nonzero((flags & PRESENT) == 0))
+        self._num_valid += int(np.count_nonzero((flags & VALID) == 0))
+        self._flags[gpfns] = PRESENT | VALID | (WRITABLE if writable else 0)
+        self._mfn[gpfns] = mfns
+        if self.frames_per_node is not None:
+            self._node[gpfns] = mfns // self.frames_per_node
+        else:
+            self._node[gpfns] = -1
+        observer = self.observer
+        if observer is not None:
+            batch_hook = getattr(observer, "entries_set", None)
+            if batch_hook is not None:
+                batch_hook(gpfns, mfns)
+            else:
+                for gpfn, mfn in zip(gpfns.tolist(), mfns.tolist()):
+                    observer.entry_set(gpfn, mfn)
+
+    def invalidate_many(
+        self, gpfns: _GpfnArray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Invalidate every valid entry among ``gpfns``.
+
+        Returns ``(invalidated_gpfns, mfns)`` in input order — exactly the
+        pairs a per-gpfn :meth:`invalidate` loop would have returned, with
+        absent/invalid entries skipped.
+        """
+        gpfns = np.asarray(gpfns, dtype=np.int64)
+        if self.sanitizer is not None or (
+            gpfns.size and np.unique(gpfns).size != gpfns.size
+        ):
+            hit_gpfns, hit_mfns = [], []
+            for gpfn in gpfns.tolist():
+                mfn = self.invalidate(gpfn)
+                if mfn is not None:
+                    hit_gpfns.append(gpfn)
+                    hit_mfns.append(mfn)
+            return (
+                np.asarray(hit_gpfns, dtype=np.int64),
+                np.asarray(hit_mfns, dtype=np.int64),
+            )
+        in_range = (gpfns >= 0) & (gpfns < self._mfn.size)
+        sel = gpfns[in_range]
+        sel = sel[(self._flags[sel] & VALID) != 0]
+        if sel.size == 0:
+            return sel, np.empty(0, dtype=np.int64)
+        mfns = self._mfn[sel].copy()
+        self._flags[sel] &= np.uint8(0xFF ^ VALID)
+        self._mfn[sel] = -1
+        self._node[sel] = -1
+        self._num_valid -= int(sel.size)
+        self.invalidations += int(sel.size)
+        observer = self.observer
+        if observer is not None:
+            batch_hook = getattr(observer, "entries_invalidated", None)
+            if batch_hook is not None:
+                batch_hook(sel)
+            else:
+                for gpfn in sel.tolist():
+                    observer.entry_invalidated(gpfn)
+        return sel, mfns
+
+    def remove_many(self, gpfns: _GpfnArray) -> np.ndarray:
+        """Bulk :meth:`remove`; returns the mfns of entries that were valid.
+
+        The returned mfns keep input order, exactly the non-None results
+        a per-gpfn remove loop would have produced (domain teardown frees
+        them wholesale).
+        """
+        gpfns = np.asarray(gpfns, dtype=np.int64)
+        if self.sanitizer is not None or (
+            gpfns.size and np.unique(gpfns).size != gpfns.size
+        ):
+            mfns = [
+                mfn
+                for mfn in (self.remove(gpfn) for gpfn in gpfns.tolist())
+                if mfn is not None
+            ]
+            return np.asarray(mfns, dtype=np.int64)
+        in_range = (gpfns >= 0) & (gpfns < self._mfn.size)
+        sel = gpfns[in_range]
+        flags = self._flags[sel]
+        present = sel[(flags & PRESENT) != 0]
+        valid = sel[(flags & VALID) != 0]
+        mfns = self._mfn[valid].copy()
+        self._num_entries -= int(present.size)
+        self._num_valid -= int(valid.size)
+        self._flags[present] = 0
+        self._mfn[present] = -1
+        self._node[present] = -1
+        observer = self.observer
+        if observer is not None and valid.size:
+            batch_hook = getattr(observer, "entries_invalidated", None)
+            if batch_hook is not None:
+                batch_hook(valid)
+            else:
+                for gpfn in valid.tolist():
+                    observer.entry_invalidated(gpfn)
+        return mfns
 
     # ------------------------------------------------------------------
     # Lookup
 
-    def lookup(self, gpfn: int) -> Optional[P2MEntry]:
+    def lookup(self, gpfn: int) -> Optional[P2MEntryView]:
         """The raw entry for ``gpfn`` (None if never populated)."""
-        return self._entries.get(gpfn)
+        if gpfn < 0 or gpfn >= self._mfn.size:
+            return None
+        if not self._flags[gpfn] & PRESENT:
+            return None
+        return P2MEntryView(self, gpfn)
 
     def translate(self, gpfn: int) -> int:
         """CPU-side translation; raises :class:`P2MError` on invalid entries.
@@ -117,41 +386,95 @@ class P2MTable:
         The hypervisor fault path catches that error and hands the fault to
         the domain's NUMA policy.
         """
-        entry = self._entries.get(gpfn)
-        if entry is None or not entry.valid:
+        if gpfn < 0 or gpfn >= self._mfn.size or not self._flags[gpfn] & VALID:
             raise P2MError(f"invalid p2m entry for gpfn {gpfn:#x}")
-        return entry.mfn
+        return int(self._mfn[gpfn])
+
+    def translate_many(self, gpfns: _GpfnArray) -> np.ndarray:
+        """Translate a whole gpfn array; raises on the first invalid one."""
+        gpfns = np.asarray(gpfns, dtype=np.int64)
+        if gpfns.size == 0:
+            return np.empty(0, dtype=np.int64)
+        in_range = (gpfns >= 0) & (gpfns < self._mfn.size)
+        valid = np.zeros(gpfns.shape, dtype=bool)
+        valid[in_range] = (self._flags[gpfns[in_range]] & VALID) != 0
+        if not valid.all():
+            bad = int(gpfns[np.argmin(valid)])
+            raise P2MError(f"invalid p2m entry for gpfn {bad:#x}")
+        return self._mfn[gpfns].copy()
+
+    def mfn_if_valid(self, gpfn: int) -> int:
+        """The backing mfn, or -1 when the access would fault.
+
+        The hypervisor fault path uses this instead of :meth:`lookup` to
+        avoid materialising a view per guest access.
+        """
+        if gpfn < 0 or gpfn >= self._mfn.size or not self._flags[gpfn] & VALID:
+            return -1
+        return int(self._mfn[gpfn])
+
+    def mfns_if_valid(self, gpfns: _GpfnArray) -> np.ndarray:
+        """Batch :meth:`mfn_if_valid`: backing mfn per gpfn, -1 where faulting.
+
+        Unlike :meth:`translate_many` this never raises — the batch init
+        path uses it to split a segment into its translating and faulting
+        subsets.
+        """
+        gpfns = np.asarray(gpfns, dtype=np.int64)
+        out = np.full(gpfns.shape, -1, dtype=np.int64)
+        in_range = (gpfns >= 0) & (gpfns < self._mfn.size)
+        sel = gpfns[in_range]
+        out[in_range] = np.where(
+            (self._flags[sel] & VALID) != 0, self._mfn[sel], -1
+        )
+        return out
 
     def is_valid(self, gpfn: int) -> bool:
         """True if ``gpfn`` currently translates without faulting."""
-        entry = self._entries.get(gpfn)
-        return entry is not None and entry.valid
+        return bool(
+            0 <= gpfn < self._mfn.size and self._flags[gpfn] & VALID
+        )
+
+    def nodes_of(self, gpfns: _GpfnArray) -> np.ndarray:
+        """Node of each gpfn's backing frame (-1 where invalid).
+
+        Requires :attr:`frames_per_node` to have been set by the
+        hypervisor; the Carrefour decision path reads placements this way
+        instead of translating page by page.
+        """
+        if self.frames_per_node is None:
+            raise P2MError("nodes_of requires frames_per_node to be set")
+        gpfns = np.asarray(gpfns, dtype=np.int64)
+        nodes = np.full(gpfns.shape, -1, dtype=np.int32)
+        in_range = (gpfns >= 0) & (gpfns < self._mfn.size)
+        nodes[in_range] = self._node[gpfns[in_range]]
+        return nodes
 
     # ------------------------------------------------------------------
     # Migration support (internal interface, paper section 4.1)
 
     def write_protect(self, gpfn: int) -> None:
         """Clear the writable bit so concurrent guest writes trap."""
-        entry = self._require_valid(gpfn)
+        self._require_valid(gpfn)
         if self.sanitizer is not None:
             self.sanitizer.entry_write_protected(self.domain_id, gpfn)
-        entry.writable = False
+        self._flags[gpfn] = int(self._flags[gpfn]) & ~WRITABLE
 
     def remap(self, gpfn: int, new_mfn: int) -> int:
         """Point a write-protected entry at ``new_mfn``; restore writability.
 
         Returns the old machine frame (to be freed by the caller).
         """
-        entry = self._require_valid(gpfn)
-        if entry.writable:
+        self._require_valid(gpfn)
+        flags = int(self._flags[gpfn])
+        if flags & WRITABLE:
             raise P2MError("remap requires a write-protected entry")
+        old = int(self._mfn[gpfn])
         if self.sanitizer is not None:
-            self.sanitizer.entry_remapped(
-                self.domain_id, gpfn, entry.mfn, new_mfn
-            )
-        old = entry.mfn
-        entry.mfn = new_mfn
-        entry.writable = True
+            self.sanitizer.entry_remapped(self.domain_id, gpfn, old, new_mfn)
+        self._mfn[gpfn] = new_mfn
+        self._sync_node(gpfn)
+        self._flags[gpfn] = flags | WRITABLE
         self.migrations += 1
         if self.observer is not None:
             self.observer.entry_set(gpfn, new_mfn)
@@ -159,30 +482,29 @@ class P2MTable:
 
     def unprotect(self, gpfn: int) -> None:
         """Abort a migration: restore writability without remapping."""
-        entry = self._require_valid(gpfn)
+        self._require_valid(gpfn)
         if self.sanitizer is not None:
             self.sanitizer.entry_unprotected(self.domain_id, gpfn)
-        entry.writable = True
+        self._flags[gpfn] = int(self._flags[gpfn]) | WRITABLE
 
     # ------------------------------------------------------------------
     # Introspection
 
-    def valid_entries(self) -> Iterator[Tuple[int, P2MEntry]]:
+    def valid_entries(self) -> Iterator[Tuple[int, P2MEntryView]]:
         """Iterate (gpfn, entry) over valid entries."""
-        return ((g, e) for g, e in self._entries.items() if e.valid)
+        for gpfn in np.nonzero(self._flags & VALID)[0].tolist():
+            yield gpfn, P2MEntryView(self, gpfn)
 
     @property
     def num_entries(self) -> int:
-        """Total entries, valid or not."""
-        return len(self._entries)
+        """Total entries, valid or not (maintained, not scanned)."""
+        return self._num_entries
 
     @property
     def num_valid(self) -> int:
-        """Valid (translatable) entries."""
-        return sum(1 for e in self._entries.values() if e.valid)
+        """Valid (translatable) entries (maintained, not scanned)."""
+        return self._num_valid
 
-    def _require_valid(self, gpfn: int) -> P2MEntry:
-        entry = self._entries.get(gpfn)
-        if entry is None or not entry.valid:
+    def _require_valid(self, gpfn: int) -> None:
+        if gpfn < 0 or gpfn >= self._mfn.size or not self._flags[gpfn] & VALID:
             raise P2MError(f"gpfn {gpfn:#x} has no valid entry")
-        return entry

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.config import SimConfig
 from repro.core.interface import InternalInterface
 from repro.core.policies.base import PolicyName, PolicySpec
@@ -139,6 +141,7 @@ class Hypervisor:
             home_nodes=nodes,
         )
         self._next_domid += 1
+        domain.p2m.frames_per_node = self.machine.memory.frames_per_node
         if self.sanitizer is not None:
             domain.p2m.sanitizer = self.sanitizer
         self.policy_manager.boot_domain(domain, boot_policy)
@@ -207,6 +210,21 @@ class Hypervisor:
         node = self.machine.topology.node_of_cpu(pcpu)
         return self.fault_handler.on_access(domain, vcpu_id, gpfn, node)
 
+    def guest_faults_many(
+        self, domain: Domain, vcpu_id: int, gpfns
+    ) -> Optional["np.ndarray"]:
+        """Fault a whole gpfn array in for one vCPU.
+
+        The batch counterpart of taking :meth:`guest_access` faults page
+        by page: every gpfn must currently be invalid (the caller — the
+        first-touch init path — guarantees it). Returns the mfn array, or
+        None when the policy needs per-page fault decisions.
+        """
+        vcpu = domain.vcpus[vcpu_id]
+        pcpu = self.scheduler.pcpu_of(vcpu)
+        node = self.machine.topology.node_of_cpu(pcpu)
+        return self.fault_handler.handle_faults(domain, vcpu_id, gpfns, node)
+
     def vcpu_node(self, domain: Domain, vcpu_id: int) -> int:
         """NUMA node currently hosting a vCPU."""
         pcpu = self.scheduler.pcpu_of(domain.vcpus[vcpu_id])
@@ -231,6 +249,7 @@ class Hypervisor:
             ),
             home_nodes=(0,),
         )
+        dom0.p2m.frames_per_node = self.machine.memory.frames_per_node
         if self.sanitizer is not None:
             dom0.p2m.sanitizer = self.sanitizer
         self.policy_manager.boot_domain(

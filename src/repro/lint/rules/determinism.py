@@ -88,6 +88,17 @@ class DeterminismRule(Rule):
                 "the random module is process-global, unseeded state; "
                 "take a seeded np.random.Generator parameter instead",
             )
+            return
+        if node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name not in NP_RANDOM_ALLOWED:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"from numpy.random import {alias.name} binds "
+                        f"numpy's global random stream; draw from a seeded "
+                        f"np.random.Generator instead",
+                    )
 
     def visit_Call(self, node: ast.Call, ctx: FileContext):
         name = call_name(node)

@@ -22,6 +22,7 @@ from typing import List, Optional
 
 from repro.config import SimConfig
 from repro.perfbench.bench import (
+    DEFAULT_PAGE_PATH_REPEAT,
     DEFAULT_REPEAT,
     DEFAULT_SOLVER_ITERATIONS,
     run_benchmarks,
@@ -60,6 +61,18 @@ def _build_parser() -> argparse.ArgumentParser:
         f"(default: {DEFAULT_SOLVER_ITERATIONS})",
     )
     parser.add_argument(
+        "--no-page-path",
+        action="store_true",
+        help="skip the page-path (array vs dict/loop p2m) comparison",
+    )
+    parser.add_argument(
+        "--page-path-repeat",
+        type=int,
+        default=DEFAULT_PAGE_PATH_REPEAT,
+        help="timeit repetitions of the page-path comparison "
+        f"(default: {DEFAULT_PAGE_PATH_REPEAT})",
+    )
+    parser.add_argument(
         "--seed",
         type=int,
         default=SimConfig().rng_seed,
@@ -96,6 +109,16 @@ def _print_report(payload: dict, out) -> None:
         f"{micro['speedup']:.1f}x",
         file=out,
     )
+    page_path = payload.get("page_path")
+    if page_path:
+        match = "ok" if page_path["results_match"] else "MISMATCH"
+        print(
+            f"  page_path [{page_path['preset']}]: vectorized "
+            f"{page_path['vectorized_median_seconds']:.3f}s vs scalar oracle "
+            f"{page_path['scalar_median_seconds']:.3f}s -> "
+            f"{page_path['speedup']:.1f}x (epochs {match})",
+            file=out,
+        )
 
 
 def _print_delta(payload: dict, baseline: dict, out) -> None:
@@ -131,6 +154,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         repeat=args.repeat,
         worlds=args.worlds,
         solver_iterations=args.solver_iterations,
+        page_path=not args.no_page_path,
+        page_path_repeat=args.page_path_repeat,
     )
     out_dir = Path(args.output_dir)
     out_dir.mkdir(parents=True, exist_ok=True)

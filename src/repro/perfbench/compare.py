@@ -1,0 +1,129 @@
+"""``python -m repro.perfbench.compare`` — non-gating perf regression diff.
+
+CI runs this after a fresh benchmark: it compares each world's median
+against the committed baseline and prints one GitHub Actions
+``::warning::`` annotation per world that regressed beyond the threshold.
+It never fails the build — timing noise on shared runners would make a
+hard gate flaky — so the exit code is 0 whenever both files parse.
+
+Example::
+
+    python -m repro.perfbench.compare BENCH_pr.json \
+        benchmarks/perf/baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: A world is flagged when its median is more than this fraction slower
+#: than the baseline median (0.20 = 20% regression).
+DEFAULT_THRESHOLD = 0.20
+
+
+def compare_worlds(
+    payload: dict, baseline: dict, threshold: float = DEFAULT_THRESHOLD
+) -> List[Dict[str, object]]:
+    """Per-world comparison rows, slowest-regression first.
+
+    Each row has ``world``, ``ratio`` (current median / baseline median),
+    ``current_seconds``, ``baseline_seconds`` and ``regressed`` (True when
+    the ratio exceeds ``1 + threshold``). Worlds missing from either file
+    are skipped — a freshly added preset has nothing to regress against.
+    """
+    rows: List[Dict[str, object]] = []
+    base_worlds = baseline.get("worlds", {})
+    for world, stats in sorted(payload.get("worlds", {}).items()):
+        ref = base_worlds.get(world)
+        if not ref:
+            continue
+        current = float(stats["median_seconds"])
+        reference = float(ref["median_seconds"])
+        if reference <= 0.0:
+            continue
+        ratio = current / reference
+        rows.append(
+            {
+                "world": world,
+                "ratio": ratio,
+                "current_seconds": current,
+                "baseline_seconds": reference,
+                "regressed": ratio > 1.0 + threshold,
+            }
+        )
+    rows.sort(key=lambda row: -row["ratio"])
+    return rows
+
+
+def render_annotations(
+    rows: List[Dict[str, object]], threshold: float = DEFAULT_THRESHOLD
+) -> List[str]:
+    """GitHub ``::warning::`` lines for the regressed rows."""
+    lines = []
+    for row in rows:
+        if not row["regressed"]:
+            continue
+        lines.append(
+            "::warning title=perf regression::world '{world}' is "
+            "{pct:.0f}% slower than baseline ({cur:.3f}s vs {ref:.3f}s "
+            "median; threshold {thr:.0f}%)".format(
+                world=row["world"],
+                pct=(row["ratio"] - 1.0) * 100.0,
+                cur=row["current_seconds"],
+                ref=row["baseline_seconds"],
+                thr=threshold * 100.0,
+            )
+        )
+    return lines
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perfbench.compare",
+        description="Diff a fresh BENCH json against the committed baseline "
+        "(warnings only, never fails).",
+    )
+    parser.add_argument("bench", help="fresh BENCH_<label>.json")
+    parser.add_argument("baseline", help="committed baseline json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help=f"regression fraction to flag (default: {DEFAULT_THRESHOLD})",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        payload = json.loads(Path(args.bench).read_text())
+        baseline = json.loads(Path(args.baseline).read_text())
+    except (OSError, ValueError) as exc:
+        # Missing or malformed inputs should not fail the (non-gating)
+        # perf job either; surface the problem as an annotation.
+        print(f"::warning title=perf compare::cannot compare: {exc}")
+        return 0
+
+    rows = compare_worlds(payload, baseline, threshold=args.threshold)
+    for row in rows:
+        print(
+            "  {world:>7s}: {ratio:6.2f}x baseline median "
+            "({cur:.3f}s vs {ref:.3f}s){flag}".format(
+                world=row["world"],
+                ratio=row["ratio"],
+                cur=row["current_seconds"],
+                ref=row["baseline_seconds"],
+                flag=" <-- REGRESSED" if row["regressed"] else "",
+            )
+        )
+    for line in render_annotations(rows, threshold=args.threshold):
+        print(line)
+    if not rows:
+        print("no overlapping worlds between bench and baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,12 @@ from repro.workloads.suite import get_app
 #: at the default page scale, enough for a realistically sized guest.
 BENCH_FRAMES_PER_NODE = 16384
 
+#: Page scale of the page-heavy preset: 8 real pages per simulated page
+#: (32 KiB), i.e. 32x the page count of the default scale (256). This is
+#: the world that exercises the array-backed page path — init faults,
+#: event queues and placement updates all scale with the page count.
+XLARGE_PAGE_SCALE = 8
+
 
 def _bench_app(name: str, baseline_seconds: float) -> AppSpec:
     """A shortened copy of a suite application for repeatable timing."""
@@ -92,10 +98,18 @@ def _build_large(config: SimConfig) -> World:
     return env.setup(specs)
 
 
+def _build_xlarge(config: SimConfig) -> World:
+    """The large topology at page scale 8 — the page-heavy world."""
+    return _build_large(
+        dataclasses.replace(config, page_scale=XLARGE_PAGE_SCALE)
+    )
+
+
 WORLD_PRESETS: Dict[str, object] = {
     "small": _build_small,
     "medium": _build_medium,
     "large": _build_large,
+    "xlarge": _build_xlarge,
 }
 
 

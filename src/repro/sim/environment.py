@@ -14,6 +14,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.config import SimConfig, DEFAULT_CONFIG
+from repro.core import batch
 from repro.core.page_queue import lock_service_slowdown
 from repro.core.policies.base import PolicyName, PolicySpec
 from repro.core.interface import ExternalInterface
@@ -204,6 +205,17 @@ class _PolicyContext:
         """Hook: resolve the touched page to its NUMA node."""
         raise NotImplementedError
 
+    def touch_segment(
+        self, run: AppRun, segment: RuntimeSegment, toucher: ThreadCtx
+    ) -> bool:
+        """Touch a whole untouched segment in one batch, if possible.
+
+        Returns True when the segment was fully initialised; False means
+        the caller must fall back to the per-page :meth:`touch_page` loop
+        (the default — subclasses with a batch fast path override this).
+        """
+        return False
+
     def release_page(self, run: AppRun, segment: RuntimeSegment, idx: int) -> None:
         vpfn = self._vpfn_of(segment, idx)
         frame = self.aspace.translate(vpfn)
@@ -284,7 +296,10 @@ class _LinuxContext(_PolicyContext):
         )
         self.machine = machine
         self.numa_mode = numa_mode
-        self.tracker = PlacementTracker(node_of_frame=machine.node_of_frame)
+        self.tracker = PlacementTracker(
+            node_of_frame=machine.node_of_frame,
+            nodes_of_frames=machine.nodes_of_frames,
+        )
         numa_mode.on_page_placed = self.tracker.page_placed
         numa_mode.on_page_moved = self.tracker.page_placed
         # Frame release is keyed by vpfn through the NUMA mode (Carrefour
@@ -304,6 +319,14 @@ class _LinuxContext(_PolicyContext):
 
     def _segment_attached(self, segment: RuntimeSegment, vma) -> None:
         # In native mode the page key is the (stable) virtual page.
+        if batch.vectorized():
+            segment.keys[:] = np.arange(
+                vma.start_vpfn, vma.end_vpfn, dtype=np.int64
+            )
+            self.tracker.track_range(
+                vma.start_vpfn, segment.num_pages, segment.placement, 0
+            )
+            return
         for idx in range(segment.num_pages):
             vpfn = vma.start_vpfn + idx
             segment.keys[idx] = vpfn
@@ -456,7 +479,8 @@ class _XenContext(_PolicyContext):
         self.guest_alloc = guest_alloc
         self.patch = patch
         self.tracker = PlacementTracker(
-            node_of_frame=hypervisor.machine.node_of_frame
+            node_of_frame=hypervisor.machine.node_of_frame,
+            nodes_of_frames=hypervisor.machine.nodes_of_frames,
         )
         domain.p2m.observer = self.tracker
         self.aspace = GuestAddressSpace(
@@ -491,6 +515,61 @@ class _XenContext(_PolicyContext):
         node = self.hypervisor.machine.node_of_frame(mfn)
         segment.placement.place(idx, node)
         return node
+
+    def touch_segment(self, run, segment, toucher) -> bool:
+        """Initialise a whole untouched segment through the batch paths.
+
+        The fast path needs: batch mode on, no sanitizer (scalar
+        delegation keeps trap order exact), a fully untouched segment,
+        and a contiguous guest allocation (so the segment registers as
+        one key range). The p2m entries then split into a translating
+        subset (booted mapped) and a faulting subset (first-touch), each
+        resolved with one array operation; every counter, placement
+        version and float accumulator advances exactly as the per-page
+        loop's.
+        """
+        if not batch.vectorized() or self.hypervisor.sanitizer is not None:
+            return False
+        if (segment.keys >= 0).any():
+            return False
+        count = segment.num_pages
+        gpfns = self.guest_alloc.alloc_many(count)
+        if gpfns is None:
+            return False
+        vma = self._vma_of_segment[id(segment)]
+        vpfns = np.arange(vma.start_vpfn, vma.end_vpfn, dtype=np.int64)
+        # The guest fault per page, resolved in bulk.
+        self.aspace.map_many(vpfns, gpfns)
+        self._init_faults += count
+        segment.keys[:] = gpfns
+        self.tracker.track_range(int(gpfns[0]), count, segment.placement, 0)
+        machine = self.hypervisor.machine
+        p2m = self.domain.p2m
+        mfns = p2m.mfns_if_valid(gpfns)
+        invalid = mfns < 0
+        ninvalid = int(np.count_nonzero(invalid))
+        if ninvalid:
+            faulted = self.hypervisor.guest_faults_many(
+                self.domain, toucher.tid, gpfns[invalid]
+            )
+            if faulted is None:
+                # The policy answers faults per page: finish through the
+                # scalar access path (the batch allocation above matches
+                # what the per-page allocs would have done, hooks
+                # included).
+                for idx, frame in enumerate(gpfns.tolist()):
+                    mfn = self.hypervisor.guest_access(
+                        self.domain, toucher.tid, frame
+                    )
+                    segment.placement.place(idx, machine.node_of_frame(mfn))
+                return True
+            mfns[invalid] = faulted
+        # The scalar touch places every page after the access (faulting
+        # pages a second time, after the p2m observer's placement).
+        segment.placement.place_many(
+            np.arange(count, dtype=np.int64), machine.nodes_of_frames(mfns)
+        )
+        return True
 
     def _release_mapped(self, segment, idx, vpfn, frame) -> None:
         self.tracker.untrack(frame)

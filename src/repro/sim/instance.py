@@ -199,6 +199,8 @@ class AppRun:
                 and segment.owner_tid is not None
             ):
                 toucher = self.threads[segment.owner_tid]
+            if self.context.touch_segment(self, segment, toucher):
+                continue
             for idx in range(segment.num_pages):
                 self.context.touch_page(self, segment, idx, toucher)
         self.init_seconds = self.context.take_init_seconds()

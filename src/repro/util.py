@@ -11,6 +11,24 @@ from __future__ import annotations
 import zlib
 from typing import Sequence, Tuple, Union
 
+import numpy as np
+
+
+def accumulate_cost(start: float, cost: float, count: int) -> float:
+    """``count`` sequential ``start += cost`` float adds, as one cumsum.
+
+    ``np.cumsum`` accumulates sequentially left-to-right, so the final
+    element is bit-identical to the scalar accumulation loop — the batch
+    paths use this wherever a per-page cost feeds a float accumulator
+    that the experiments read back.
+    """
+    if count <= 0:
+        return start
+    steps = np.empty(count + 1, dtype=np.float64)
+    steps[0] = start
+    steps[1:] = cost
+    return float(np.cumsum(steps)[-1])
+
 Hashable = Union[str, int, float, Tuple["Hashable", ...]]
 
 
@@ -45,3 +63,19 @@ class RoundRobin:
         node = self._nodes[self._idx]
         self._idx = (self._idx + 1) % len(self._nodes)
         return node
+
+    def next_many(self, count: int) -> Tuple[int, ...]:
+        """The next ``count`` nodes, advancing the cursor past them.
+
+        Equal to ``tuple(self.next() for _ in range(count))`` without the
+        per-step calls; the batch population paths use it to compute a
+        whole round-robin node pattern at once.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        nodes = self._nodes
+        length = len(nodes)
+        start = self._idx
+        self._idx = (start + count) % length
+        reps = (start + count + length - 1) // length
+        return (nodes * max(reps, 1))[start : start + count]

@@ -4,6 +4,7 @@ import random
 import time
 
 import numpy as np
+from numpy.random import uniform
 
 
 def derive_seed(name):

@@ -1,6 +1,7 @@
 """Deterministic randomness patterns (no findings)."""
 
 import numpy as np
+from numpy.random import PCG64, default_rng
 
 
 def make_rng(seed):

@@ -50,8 +50,13 @@ class TestDeterminism:
         assert "hash()" in messages
         assert "without a seed" in messages
         assert "global random stream" in messages
+        # The ImportFrom flavour: `from numpy.random import uniform` binds
+        # the global stream just like `np.random.uniform(...)` does.
+        assert "from numpy.random import uniform" in messages
 
     def test_good_clean(self):
+        # Includes `from numpy.random import PCG64, default_rng` — the
+        # seeded-generator constructors stay importable either way.
         assert lint("good_determinism.py", select=["RPR002"]) == []
 
 

@@ -1,0 +1,92 @@
+"""The CI perf-compare tool: ratios, annotations, never-fail discipline."""
+
+import json
+
+from repro.perfbench.compare import (
+    DEFAULT_THRESHOLD,
+    compare_worlds,
+    main,
+    render_annotations,
+)
+
+
+def payload(**medians):
+    return {
+        "worlds": {
+            world: {"median_seconds": seconds}
+            for world, seconds in medians.items()
+        }
+    }
+
+
+class TestCompareWorlds:
+    def test_ratio_and_regression_flag(self):
+        rows = compare_worlds(
+            payload(small=0.130, large=0.095),
+            payload(small=0.100, large=0.100),
+        )
+        by_world = {row["world"]: row for row in rows}
+        assert by_world["small"]["ratio"] == 1.3
+        assert by_world["small"]["regressed"]
+        assert by_world["large"]["ratio"] == 0.95
+        assert not by_world["large"]["regressed"]
+        # Worst regression first.
+        assert rows[0]["world"] == "small"
+
+    def test_exactly_at_threshold_not_flagged(self):
+        rows = compare_worlds(payload(small=1.2), payload(small=1.0))
+        assert not rows[0]["regressed"]
+        rows = compare_worlds(
+            payload(small=1.2), payload(small=1.0), threshold=0.19
+        )
+        assert rows[0]["regressed"]
+
+    def test_unmatched_worlds_skipped(self):
+        rows = compare_worlds(
+            payload(small=1.0, xlarge=5.0), payload(small=1.0, medium=2.0)
+        )
+        assert [row["world"] for row in rows] == ["small"]
+
+    def test_annotations_only_for_regressions(self):
+        rows = compare_worlds(
+            payload(small=2.0, large=1.0), payload(small=1.0, large=1.0)
+        )
+        lines = render_annotations(rows, threshold=DEFAULT_THRESHOLD)
+        assert len(lines) == 1
+        assert lines[0].startswith("::warning title=perf regression::")
+        assert "'small'" in lines[0]
+        assert "100% slower" in lines[0]
+
+
+class TestMain:
+    def _write(self, path, data):
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_regression_warns_but_exits_zero(self, tmp_path, capsys):
+        bench = self._write(tmp_path / "bench.json", payload(small=2.0))
+        base = self._write(tmp_path / "base.json", payload(small=1.0))
+        assert main([bench, base]) == 0
+        out = capsys.readouterr().out
+        assert "::warning title=perf regression::" in out
+        assert "REGRESSED" in out
+
+    def test_clean_run_prints_table_only(self, tmp_path, capsys):
+        bench = self._write(tmp_path / "bench.json", payload(small=1.0))
+        base = self._write(tmp_path / "base.json", payload(small=1.0))
+        assert main([bench, base]) == 0
+        out = capsys.readouterr().out
+        assert "::warning" not in out
+        assert "1.00x baseline median" in out
+
+    def test_missing_file_warns_but_exits_zero(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base.json", payload(small=1.0))
+        assert main([str(tmp_path / "nope.json"), base]) == 0
+        assert "::warning title=perf compare::" in capsys.readouterr().out
+
+    def test_malformed_json_warns_but_exits_zero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        base = self._write(tmp_path / "base.json", payload(small=1.0))
+        assert main([str(bad), base]) == 0
+        assert "::warning title=perf compare::" in capsys.readouterr().out

@@ -5,9 +5,15 @@ import json
 import pytest
 
 from repro.config import SimConfig
+from repro.lint import sanitizer as p2m_sanitizer
+from repro.perfbench import oracle
 from repro.perfbench.bench import bench_solver
 from repro.perfbench.cli import main
-from repro.perfbench.worlds import build_world
+from repro.perfbench.worlds import (
+    WORLD_PRESETS,
+    XLARGE_PAGE_SCALE,
+    build_world,
+)
 from repro.sim.engine import run_world
 
 
@@ -20,12 +26,14 @@ class TestCli:
                 "--repeat", "1",
                 "--worlds", "small",
                 "--solver-iterations", "5",
+                "--no-page-path",
             ]
         )
         assert rc == 0
         payload = json.loads((tmp_path / "BENCH_pr.json").read_text())
         assert payload["label"] == "pr"
         assert payload["seed"] == SimConfig().rng_seed
+        assert "page_path" not in payload
         small = payload["worlds"]["small"]
         assert small["median_seconds"] > 0
         assert small["iqr_seconds"] >= 0
@@ -42,6 +50,7 @@ class TestCli:
             "--repeat", "1",
             "--worlds", "small",
             "--solver-iterations", "2",
+            "--no-page-path",
         ]
         assert main(["--label", "a", *common]) == 0
         rc = main(
@@ -64,6 +73,7 @@ class TestCli:
                 "--repeat", "1",
                 "--worlds", "small",
                 "--solver-iterations", "2",
+                "--no-page-path",
                 "--baseline", str(tmp_path / "nope.json"),
             ]
         )
@@ -83,6 +93,47 @@ class TestWorlds:
     def test_unknown_preset_rejected(self):
         with pytest.raises(ValueError, match="unknown bench preset"):
             build_world("huge", SimConfig())
+
+    def test_xlarge_is_large_at_page_scale_8(self):
+        """The page-heavy preset is the large topology with 32x the pages
+        (page scale 8 vs the default 256)."""
+        assert "xlarge" in WORLD_PRESETS
+        config = SimConfig()
+        scale_factor = config.page_scale // XLARGE_PAGE_SCALE
+        p2m_sanitizer.disable()  # array-path populate; re-armed below
+        try:
+            large = build_world("large", config)
+            xlarge = build_world("xlarge", config)
+        finally:
+            p2m_sanitizer.enable()
+        assert xlarge.machine.config.page_scale == XLARGE_PAGE_SCALE
+        large_domains = sorted(
+            run.context.domain.memory_pages for run in large.runs
+        )
+        xlarge_domains = sorted(
+            run.context.domain.memory_pages for run in xlarge.runs
+        )
+        assert len(xlarge_domains) == len(large_domains)
+        for small_pages, big_pages in zip(large_domains, xlarge_domains):
+            assert big_pages == small_pages * scale_factor
+
+
+class TestScalarOracleEquivalence:
+    def test_small_world_matches_dict_backend(self):
+        """One full world simulated on both page-path backends: identical
+        results (the report-level byte-identity check in miniature)."""
+        config = SimConfig()
+        p2m_sanitizer.disable()  # exercise the real vectorized paths
+        try:
+            vec = run_world(build_world("small", config))
+            with oracle.scalar_page_path():
+                scalar = run_world(build_world("small", config))
+        finally:
+            p2m_sanitizer.enable()
+        assert [r.completion_seconds for r in vec] == [
+            r.completion_seconds for r in scalar
+        ]
+        assert [r.epochs for r in vec] == [r.epochs for r in scalar]
 
 
 class TestSolverMicrobench:
