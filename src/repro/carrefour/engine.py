@@ -15,6 +15,7 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.carrefour.heuristics import (
     Action,
     PageDecision,
@@ -264,9 +265,28 @@ class SystemComponent:
         self.placement = placement
         self.apply_fn = apply_fn
         self.placement_many = placement_many
-        self.total_applied = 0
-        self.total_commands = 0
+        reg = obs.registry()
+        self._total_applied = reg.counter("carrefour.applied")
+        self._total_commands = reg.counter("carrefour.commands")
         counters.claim(self.OWNER)
+
+    @property
+    def total_applied(self) -> int:
+        """Decisions that actually moved a page."""
+        return self._total_applied.value
+
+    @total_applied.setter
+    def total_applied(self, value: int) -> None:
+        self._total_applied.value = value
+
+    @property
+    def total_commands(self) -> int:
+        """Decisions received from the user component."""
+        return self._total_commands.value
+
+    @total_commands.setter
+    def total_commands(self, value: int) -> None:
+        self._total_commands.value = value
 
     def apply(self, decisions: Sequence[PageDecision]) -> int:
         """Execute a command batch from the user component."""
@@ -308,6 +328,7 @@ class CarrefourEngine:
         self.user = UserComponent(config, rng or np.random.default_rng(0))
         self.command_channel = command_channel or system.apply
         self.history: List[IterationResult] = []
+        self._iterations = obs.registry().counter("carrefour.iterations")
 
     def run_iteration(self, observation: EpochObservation) -> IterationResult:
         """One sampling/decision/apply cycle."""
@@ -321,6 +342,15 @@ class CarrefourEngine:
         if result.decisions:
             result.applied = self.command_channel(result.decisions)
         self.history.append(result)
+        self._iterations.inc()
+        tr = obs.tracer()
+        if tr.enabled:
+            tr.instant(
+                "carrefour.iteration",
+                cat="policy",
+                decisions=len(result.decisions),
+                applied=result.applied,
+            )
         return result
 
     def iteration_cost_seconds(self, result: IterationResult) -> float:

@@ -35,6 +35,7 @@ from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.core import batch as batch_mode
 from repro.errors import HypercallError
 
@@ -111,18 +112,75 @@ FlushFn = Callable[[Sequence[PageEvent]], None]
 FlushCostFn = Callable[[int], float]
 
 
-@dataclass
 class QueueStats:
-    """Accounting for one queue family (used by the batching experiments)."""
+    """Accounting for one queue family (used by the batching experiments).
 
-    events: int = 0
-    flushes: int = 0
-    flushed_events: int = 0
-    lock_acquisitions: int = 0
-    #: Seconds of lock hold time spent inside flush hypercalls.
-    flush_hold_seconds: float = 0.0
-    #: Seconds spent appending entries (lock held, no hypercall).
-    append_hold_seconds: float = 0.0
+    Attribute-compatible with the dataclass this replaced; each field is
+    a view over a metric cell registered with the active observability
+    session (:mod:`repro.obs`), so the batching experiments keep reading
+    the same numbers while an enabled session collects them.
+    """
+
+    __slots__ = ("_events", "_flushes", "_flushed", "_locks", "_flush_hold", "_append_hold")
+
+    def __init__(self) -> None:
+        reg = obs.registry()
+        self._events = reg.counter("queue.events")
+        self._flushes = reg.counter("queue.flushes")
+        self._flushed = reg.counter("queue.flushed_events")
+        self._locks = reg.counter("queue.lock_acquisitions")
+        #: Seconds of lock hold time spent inside flush hypercalls.
+        self._flush_hold = reg.counter("queue.flush_hold_seconds", value=0.0)
+        #: Seconds spent appending entries (lock held, no hypercall).
+        self._append_hold = reg.counter("queue.append_hold_seconds", value=0.0)
+
+    @property
+    def events(self) -> int:
+        return self._events.value
+
+    @events.setter
+    def events(self, value: int) -> None:
+        self._events.value = value
+
+    @property
+    def flushes(self) -> int:
+        return self._flushes.value
+
+    @flushes.setter
+    def flushes(self, value: int) -> None:
+        self._flushes.value = value
+
+    @property
+    def flushed_events(self) -> int:
+        return self._flushed.value
+
+    @flushed_events.setter
+    def flushed_events(self, value: int) -> None:
+        self._flushed.value = value
+
+    @property
+    def lock_acquisitions(self) -> int:
+        return self._locks.value
+
+    @lock_acquisitions.setter
+    def lock_acquisitions(self, value: int) -> None:
+        self._locks.value = value
+
+    @property
+    def flush_hold_seconds(self) -> float:
+        return self._flush_hold.value
+
+    @flush_hold_seconds.setter
+    def flush_hold_seconds(self, value: float) -> None:
+        self._flush_hold.value = value
+
+    @property
+    def append_hold_seconds(self) -> float:
+        return self._append_hold.value
+
+    @append_hold_seconds.setter
+    def append_hold_seconds(self, value: float) -> None:
+        self._append_hold.value = value
 
     @property
     def events_per_flush(self) -> float:
@@ -306,6 +364,9 @@ class PartitionedPageQueue:
         self.stats.flushes += 1
         self.stats.flushed_events += len(events)
         self.stats.flush_hold_seconds += self.flush_cost_fn(len(events))
+        tr = obs.tracer()
+        if tr.enabled:
+            tr.instant("queue.flush", cat="guest", events=len(events))
         self.flush_fn(events)
 
 

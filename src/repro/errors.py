@@ -74,6 +74,15 @@ class RunSpecError(ReproError):
     """
 
 
+class ObsError(ReproError):
+    """Invalid use of the observability layer.
+
+    Raised on nested :func:`repro.obs.session` activations and on trace
+    files that do not conform to the trace schema when a CLI command
+    requires one.
+    """
+
+
 class ExperimentError(ReproError):
     """An experiment was invoked with arguments it does not support.
 

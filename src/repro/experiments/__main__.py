@@ -19,6 +19,7 @@ import sys
 from contextlib import ExitStack
 from typing import Callable, Dict, List, Optional
 
+from repro import obs
 from repro.config import SimConfig
 from repro.errors import ReproError
 from repro.experiments import (
@@ -112,14 +113,27 @@ def _run_command(argv: List[str]) -> int:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress the per-scenario tables"
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a deterministic trace + metrics file (forces --jobs 1)",
+    )
     try:
         args = parser.parse_args(argv)
     except SystemExit as exc:
         return int(exc.code or 0)
     apps: Optional[List[str]] = args.apps.split(",") if args.apps else None
     names = registry.scenario_names() if args.names == ["all"] else args.names
-    runner = Runner(store=open_store(args.store), jobs=args.jobs)
+    jobs = args.jobs
+    if args.trace is not None and jobs > 1:
+        # Worker processes run with their own (null) observability
+        # sessions, so a parallel trace would be missing the run bodies.
+        print("note: --trace forces --jobs 1")
+        jobs = 1
+    obs_session = None
     with ExitStack() as stack:
+        if args.trace is not None:
+            obs_session = stack.enter_context(obs.session())
+        runner = Runner(store=open_store(args.store), jobs=jobs)
         if args.page_scale is not None:
             stack.enter_context(common.configured(SimConfig(page_scale=args.page_scale)))
         for name in names:
@@ -127,6 +141,9 @@ def _run_command(argv: List[str]) -> int:
             if not args.quiet:
                 print(f"\n######## {scenario.name} ########\n")
             scenario.run(apps=apps, verbose=not args.quiet, runner=runner)
+    if obs_session is not None:
+        obs_session.write_trace(args.trace)
+        print(f"trace written to {args.trace}")
     print(runner.summary())
     return 0
 

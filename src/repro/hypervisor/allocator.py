@@ -22,6 +22,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.config import SimConfig
 from repro.errors import OutOfMemoryError
 from repro.hardware.machine import Machine
@@ -110,6 +111,14 @@ class XenHeapAllocator:
         self.gib_pages = max(1, GIB // config.page_bytes)
         self.mib2_pages = max(1, MIB_2 // config.page_bytes)
 
+    @staticmethod
+    def _trace_populate(event: str, domain: Domain, pages: int) -> None:
+        tr = obs.tracer()
+        if tr.enabled:
+            tr.instant(
+                event, cat="hypervisor", domain=domain.domain_id, pages=pages
+            )
+
     # ------------------------------------------------------------------
     # Whole-domain population
 
@@ -131,12 +140,14 @@ class XenHeapAllocator:
         gpfn = self._populate_pages(domain, gpfn, frag_tail, rr)
         assert gpfn == total
         domain.built = True
+        self._trace_populate("allocator.populate_round_1g", domain, total)
 
     def populate_round_4k(self, domain: Domain) -> None:
         """Static 4 KiB round-robin over the home nodes (paper section 4.3)."""
         rr = _RoundRobin(domain.home_nodes)
         self._populate_pages(domain, 0, domain.memory_pages, rr)
         domain.built = True
+        self._trace_populate("allocator.populate_round_4k", domain, domain.memory_pages)
 
     def populate_empty(self, domain: Domain) -> None:
         """Leave all entries unpopulated — every first access faults.
@@ -146,6 +157,7 @@ class XenHeapAllocator:
         mode exercises the pure fault-driven path).
         """
         domain.built = True
+        self._trace_populate("allocator.populate_empty", domain, 0)
 
     def depopulate(self, domain: Domain) -> int:
         """Free every frame of the domain (teardown). Returns frames freed."""
@@ -163,6 +175,7 @@ class XenHeapAllocator:
             mfns = p2m.remove_many(gpfns)
             self.machine.memory.free_frames_many(mfns)
             domain.built = False
+            self._trace_populate("allocator.depopulate", domain, int(mfns.size))
             return int(mfns.size)
         freed = 0
         for gpfn in list(domain.gpfn_range()):
@@ -171,6 +184,7 @@ class XenHeapAllocator:
                 self.machine.memory.free_frames(mfn, 1)
                 freed += 1
         domain.built = False
+        self._trace_populate("allocator.depopulate", domain, freed)
         return freed
 
     # ------------------------------------------------------------------

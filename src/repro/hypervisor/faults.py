@@ -14,11 +14,11 @@ remapped; we account their cost.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional, TYPE_CHECKING
 
 import numpy as np
 
+from repro import obs
 from repro.errors import P2MError
 from repro.hypervisor.allocator import XenHeapAllocator
 from repro.hypervisor.domain import Domain
@@ -28,13 +28,46 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.policies.base import NumaPolicy
 
 
-@dataclass
 class FaultStats:
-    """Counters kept by the fault handler."""
+    """Counters kept by the fault handler.
 
-    hypervisor_faults: int = 0
-    write_protection_faults: int = 0
-    seconds_spent: float = 0.0
+    Attribute-compatible with the dataclass this replaced, but each field
+    is a view over a metric cell registered with the active observability
+    session (:mod:`repro.obs`) — the arithmetic is unchanged, so counts
+    and the ``seconds_spent`` float stay bit-identical.
+    """
+
+    __slots__ = ("_faults", "_wp_faults", "_seconds")
+
+    def __init__(self) -> None:
+        reg = obs.registry()
+        self._faults = reg.counter("faults.hypervisor")
+        self._wp_faults = reg.counter("faults.write_protection")
+        self._seconds = reg.counter("faults.seconds_spent", value=0.0)
+
+    @property
+    def hypervisor_faults(self) -> int:
+        return self._faults.value
+
+    @hypervisor_faults.setter
+    def hypervisor_faults(self, value: int) -> None:
+        self._faults.value = value
+
+    @property
+    def write_protection_faults(self) -> int:
+        return self._wp_faults.value
+
+    @write_protection_faults.setter
+    def write_protection_faults(self, value: int) -> None:
+        self._wp_faults.value = value
+
+    @property
+    def seconds_spent(self) -> float:
+        return self._seconds.value
+
+    @seconds_spent.setter
+    def seconds_spent(self, value: float) -> None:
+        self._seconds.value = value
 
 
 class FaultHandler:
@@ -108,12 +141,44 @@ class FaultHandler:
         )
         mfns = self.allocator.alloc_pages_on(node, count)
         domain.p2m.set_entries(gpfns, mfns)
+        tr = obs.tracer()
+        if tr.enabled:
+            tr.instant(
+                "fault.storm",
+                cat="hypervisor",
+                domain=domain.domain_id,
+                pages=count,
+                node=int(node),
+            )
         return mfns
 
     def on_write_protected(self, domain: Domain, gpfn: int, wait_seconds: float = 1.0e-6) -> None:
-        """Account a write fault against a page being migrated."""
+        """Account a write fault against a page being migrated.
+
+        The fault is only legitimate mid-migration: the entry must be
+        valid *and* write-protected. A write fault reported against a
+        still-writable entry is a migration-protocol violation (the
+        hardware could not have trapped that write) and is rejected
+        before any accounting happens.
+        """
         entry = domain.p2m.lookup(gpfn)
         if entry is None or not entry.valid:
             raise P2MError(f"write-protection fault on invalid gpfn {gpfn:#x}")
+        if entry.writable:
+            raise P2MError(
+                f"write-protection fault on writable gpfn {gpfn:#x}: "
+                f"no migration write-protected this entry"
+            )
+        sanitizer = domain.p2m.sanitizer
+        if sanitizer is not None:
+            sanitizer.write_protection_fault(domain.domain_id, gpfn)
         self.stats.write_protection_faults += 1
         self.stats.seconds_spent += wait_seconds
+        tr = obs.tracer()
+        if tr.enabled:
+            tr.instant(
+                "fault.write_protected",
+                cat="hypervisor",
+                domain=domain.domain_id,
+                gpfn=int(gpfn),
+            )

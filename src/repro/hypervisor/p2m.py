@@ -30,6 +30,7 @@ from typing import Iterator, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.errors import P2MError
 
 #: Flag bits of the packed ``flags`` array. PRESENT distinguishes "never
@@ -137,10 +138,12 @@ class P2MTable:
         self._node = np.full(cap, -1, dtype=np.int32)
         self._num_entries = 0
         self._num_valid = 0
-        # Statistics used by the experiments.
-        self.faults_taken = 0
-        self.invalidations = 0
-        self.migrations = 0
+        # Statistics used by the experiments — attribute views over
+        # metric cells registered with the active observability session.
+        reg = obs.registry()
+        self._faults_taken = reg.counter("p2m.faults_taken", domain=domain_id)
+        self._invalidations = reg.counter("p2m.invalidations", domain=domain_id)
+        self._migrations = reg.counter("p2m.migrations", domain=domain_id)
         #: Optional observer notified of mapping changes; the simulation
         #: engine uses it to keep page->node placement views in sync.
         #: Must provide ``entry_set(gpfn, mfn)`` and ``entry_invalidated(gpfn)``;
@@ -494,6 +497,33 @@ class P2MTable:
         """Iterate (gpfn, entry) over valid entries."""
         for gpfn in np.nonzero(self._flags & VALID)[0].tolist():
             yield gpfn, P2MEntryView(self, gpfn)
+
+    @property
+    def faults_taken(self) -> int:
+        """Hypervisor faults resolved against this table."""
+        return self._faults_taken.value
+
+    @faults_taken.setter
+    def faults_taken(self, value: int) -> None:
+        self._faults_taken.value = value
+
+    @property
+    def invalidations(self) -> int:
+        """Entries invalidated (released pages, first-touch traps)."""
+        return self._invalidations.value
+
+    @invalidations.setter
+    def invalidations(self, value: int) -> None:
+        self._invalidations.value = value
+
+    @property
+    def migrations(self) -> int:
+        """Pages remapped by the migration protocol."""
+        return self._migrations.value
+
+    @migrations.setter
+    def migrations(self, value: int) -> None:
+        self._migrations.value = value
 
     @property
     def num_entries(self) -> int:

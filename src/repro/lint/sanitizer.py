@@ -164,6 +164,23 @@ class P2MSanitizer:
         self._owners[new_mfn] = key
         self._backing[key] = new_mfn
 
+    def write_protection_fault(self, domain_id: int, gpfn: int) -> None:
+        """The fault handler is accounting a write fault on ``gpfn``.
+
+        A genuine write-protection fault can only occur while a migration
+        of this page is in flight (write-protect happened, remap has
+        not). Accounting one against an entry the protocol never
+        protected — e.g. a ``writable`` bit flipped directly through an
+        entry view — means the fault was forged.
+        """
+        key = (domain_id, gpfn)
+        if key not in self._protected:
+            raise SanitizerError(
+                f"write-protection fault on domain {domain_id} gpfn "
+                f"{gpfn:#x} with no migration in flight: the entry was "
+                f"never write-protected through the migration protocol"
+            )
+
     def entry_unprotected(self, domain_id: int, gpfn: int) -> None:
         """``unprotect``: a migration was aborted."""
         key = (domain_id, gpfn)

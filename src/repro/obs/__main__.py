@@ -1,0 +1,6 @@
+"""Module entry point: ``python -m repro.obs <summary|validate|export>``."""
+
+from repro.obs.cli import main
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

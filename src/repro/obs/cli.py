@@ -1,0 +1,165 @@
+"""``python -m repro.obs`` — inspect, validate, and export trace files.
+
+Subcommands::
+
+    python -m repro.obs summary trace.json
+    python -m repro.obs validate trace.json
+    python -m repro.obs export --format chrome trace.json -o chrome.json
+
+``summary`` prints per-(category, name) event counts and per-name metric
+aggregates; ``validate`` checks the payload against the trace schema and
+exits non-zero on problems; ``export`` converts the native format to
+Chrome trace-event JSON (load the result in ``chrome://tracing`` or
+https://ui.perfetto.dev).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.trace import to_chrome, validate_payload
+
+
+def _load(path: str) -> Tuple[Optional[dict], Optional[str]]:
+    try:
+        payload = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        return None, f"trace file {path} does not exist"
+    except (OSError, json.JSONDecodeError) as exc:
+        return None, f"cannot read trace file {path}: {exc}"
+    if not isinstance(payload, dict):
+        return None, f"trace file {path} is not a JSON object"
+    return payload, None
+
+
+def _summary_command(args: argparse.Namespace) -> int:
+    payload, error = _load(args.trace)
+    if payload is None:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"trace {args.trace}: format {payload.get('format')} "
+        f"v{payload.get('version')}, engine version {payload.get('engine_version')}"
+    )
+    events = payload.get("events") or []
+    groups: Dict[Tuple[str, str], Dict[str, float]] = {}
+    for event in events:
+        key = (str(event.get("cat")), str(event.get("name")))
+        group = groups.setdefault(
+            key, {"count": 0, "spans": 0, "first": float("inf"), "last": 0.0}
+        )
+        group["count"] += 1
+        if "dur" in event:
+            group["spans"] += 1
+        ts = float(event.get("ts", 0.0))
+        group["first"] = min(group["first"], ts)
+        group["last"] = max(group["last"], ts)
+    print(f"events: {len(events)}")
+    for (cat, name), group in sorted(groups.items()):
+        kind = "spans" if group["spans"] else "events"
+        print(
+            f"  {cat + '/' + name:32s} {int(group['count']):8d} {kind:6s} "
+            f"ts {group['first']:.6f}..{group['last']:.6f}s"
+        )
+    metrics = payload.get("metrics") or []
+    by_name: Dict[str, Dict[str, float]] = {}
+    for metric in metrics:
+        name = str(metric.get("name"))
+        agg = by_name.setdefault(name, {"cells": 0, "total": 0.0, "samples": 0})
+        agg["cells"] += 1
+        value = metric.get("value")
+        if isinstance(value, dict):  # histogram summary
+            agg["total"] += float(value.get("total") or 0.0)
+            agg["samples"] += int(value.get("count") or 0)
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            agg["total"] += float(value)
+    print(f"metrics: {len(metrics)} cells, {len(by_name)} names")
+    for name, agg in sorted(by_name.items()):
+        samples = f", {int(agg['samples'])} samples" if agg["samples"] else ""
+        print(
+            f"  {name:32s} {int(agg['cells']):4d} cells  "
+            f"total {agg['total']:g}{samples}"
+        )
+    return 0
+
+
+def _validate_command(args: argparse.Namespace) -> int:
+    payload, error = _load(args.trace)
+    if payload is None:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    problems = validate_payload(payload)
+    if problems:
+        for problem in problems:
+            print(f"invalid: {problem}", file=sys.stderr)
+        return 1
+    events = len(payload.get("events") or [])
+    metrics = len(payload.get("metrics") or [])
+    print(f"{args.trace}: valid trace ({events} events, {metrics} metric cells)")
+    return 0
+
+
+def _export_command(args: argparse.Namespace) -> int:
+    payload, error = _load(args.trace)
+    if payload is None:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    problems = validate_payload(payload)
+    if problems:
+        print(f"error: {args.trace} is not a valid trace:", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    converted = to_chrome(payload)
+    out_path = args.output or str(Path(args.trace).with_suffix(".chrome.json"))
+    Path(out_path).write_text(json.dumps(converted, sort_keys=True) + "\n")
+    print(
+        f"wrote {out_path} ({len(converted['traceEvents'])} trace events); "
+        f"load it in chrome://tracing or ui.perfetto.dev"
+    )
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect, validate, and export repro trace files.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    summary = sub.add_parser("summary", help="aggregate events and metrics")
+    summary.add_argument("trace", help="trace file written by --trace")
+    summary.set_defaults(func=_summary_command)
+
+    validate = sub.add_parser("validate", help="check a trace against the schema")
+    validate.add_argument("trace", help="trace file written by --trace")
+    validate.set_defaults(func=_validate_command)
+
+    export = sub.add_parser("export", help="convert to another trace format")
+    export.add_argument("trace", help="trace file written by --trace")
+    export.add_argument(
+        "--format",
+        choices=["chrome"],
+        default="chrome",
+        help="output format (default: chrome trace-event JSON)",
+    )
+    export.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="output path (default: <trace>.chrome.json)",
+    )
+    export.set_defaults(func=_export_command)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        args = _build_parser().parse_args(argv)
+    except SystemExit as exc:
+        return int(exc.code or 0)
+    return args.func(args)

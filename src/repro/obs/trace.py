@@ -1,0 +1,283 @@
+"""The structured trace layer: sim-time-stamped events and spans.
+
+Determinism contract (the observability half of RPR002): every timestamp
+is *simulated* time — the engine drives :meth:`Tracer.set_time` from its
+epoch clock — and event payloads carry only values derived from the run
+itself. Two executions of the same ``RunRequest`` therefore produce
+byte-identical trace files; the tier-1 suite asserts exactly that.
+
+A trace file is one JSON object::
+
+    {
+      "format": "repro-trace",
+      "version": 1,
+      "engine_version": "<repro.sim.engine.ENGINE_VERSION>",
+      "events":  [{"seq", "ts", "name", "cat", "args"[, "dur"]}, ...],
+      "metrics": [{"name", "kind", "labels", "value"}, ...]
+    }
+
+``ts``/``dur`` are simulated seconds; ``seq`` is the emission index (the
+total order, since many events share one epoch timestamp). The file is
+written with sorted keys and no whitespace so byte identity falls out of
+value identity. :func:`to_chrome` converts the native format to the
+Chrome trace-event JSON (``chrome://tracing`` / Perfetto), mapping each
+category to its own named thread row.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+
+TRACE_FORMAT = "repro-trace"
+TRACE_VERSION = 1
+
+#: Event payload values must be JSON scalars so traces stay portable and
+#: byte-stable (numpy scalars would not even serialize).
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+class Tracer:
+    """Collects events against an externally driven simulated clock."""
+
+    enabled = True
+    __slots__ = ("events", "sim_time", "_seq")
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, object]] = []
+        self.sim_time = 0.0
+        self._seq = 0
+
+    def set_time(self, seconds: float) -> None:
+        """Advance the simulated clock (the engine calls this per epoch)."""
+        self.sim_time = float(seconds)
+
+    def instant(self, name: str, cat: str = "sim", **args: object) -> None:
+        """Record a point event at the current simulated time."""
+        self._append(name, cat, None, args)
+
+    def span(
+        self, name: str, duration_seconds: float, cat: str = "sim", **args: object
+    ) -> None:
+        """Record an interval starting at the current simulated time."""
+        self._append(name, cat, float(duration_seconds), args)
+
+    def _append(
+        self,
+        name: str,
+        cat: str,
+        dur: Optional[float],
+        args: Dict[str, object],
+    ) -> None:
+        event: Dict[str, object] = {
+            "seq": self._seq,
+            "ts": self.sim_time,
+            "name": name,
+            "cat": cat,
+            "args": args,
+        }
+        if dur is not None:
+            event["dur"] = dur
+        self._seq += 1
+        self.events.append(event)
+
+
+class NullTracer:
+    """The disabled tracer: every hook is a no-op.
+
+    Hot paths check :attr:`enabled` before building event payloads, so
+    with no session active tracing costs one attribute read.
+    """
+
+    enabled = False
+    events: tuple = ()
+
+    def set_time(self, seconds: float) -> None:
+        pass
+
+    def instant(self, name: str, cat: str = "sim", **args: object) -> None:
+        pass
+
+    def span(
+        self, name: str, duration_seconds: float, cat: str = "sim", **args: object
+    ) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+
+# ----------------------------------------------------------------------
+# Payload assembly and serialization
+
+
+def build_payload(tracer: Tracer, registry: MetricsRegistry) -> Dict[str, object]:
+    """The trace-file dict for one session (events + metrics snapshot)."""
+    # Imported lazily: the engine imports repro.obs for instrumentation,
+    # so a top-level import here would be circular.
+    from repro.sim.engine import ENGINE_VERSION
+
+    return {
+        "format": TRACE_FORMAT,
+        "version": TRACE_VERSION,
+        "engine_version": ENGINE_VERSION,
+        "events": list(tracer.events),
+        "metrics": registry.snapshot(),
+    }
+
+
+def dump_payload(payload: Dict[str, object]) -> str:
+    """Canonical text form: sorted keys, no whitespace, one newline."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def write_trace(path: Union[str, Path], payload: Dict[str, object]) -> Path:
+    """Write ``payload`` canonically to ``path``; returns the path."""
+    out = Path(path)
+    out.write_text(dump_payload(payload))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Schema validation (hand-rolled: no dependency beyond the stdlib)
+
+
+def validate_payload(payload: object) -> List[str]:
+    """Problems that make ``payload`` an invalid trace (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["top level is not a JSON object"]
+    if payload.get("format") != TRACE_FORMAT:
+        problems.append(f"format is {payload.get('format')!r}, expected {TRACE_FORMAT!r}")
+    if payload.get("version") != TRACE_VERSION:
+        problems.append(f"version is {payload.get('version')!r}, expected {TRACE_VERSION}")
+    if not isinstance(payload.get("engine_version"), str):
+        problems.append("engine_version is not a string")
+    events = payload.get("events")
+    if not isinstance(events, list):
+        problems.append("events is not a list")
+        events = []
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, list):
+        problems.append("metrics is not a list")
+        metrics = []
+    prev_seq = -1
+    for i, event in enumerate(events):
+        where = f"events[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        unknown = set(event) - {"seq", "ts", "name", "cat", "args", "dur"}
+        if unknown:
+            problems.append(f"{where} has unknown keys {sorted(unknown)}")
+        seq = event.get("seq")
+        if not isinstance(seq, int) or isinstance(seq, bool):
+            problems.append(f"{where}.seq is not an integer")
+        elif seq <= prev_seq:
+            problems.append(f"{where}.seq {seq} is not strictly increasing")
+        else:
+            prev_seq = seq
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            problems.append(f"{where}.ts is not a non-negative number")
+        if "dur" in event:
+            dur = event["dur"]
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool) or dur < 0:
+                problems.append(f"{where}.dur is not a non-negative number")
+        for key in ("name", "cat"):
+            value = event.get(key)
+            if not isinstance(value, str) or not value:
+                problems.append(f"{where}.{key} is not a non-empty string")
+        args = event.get("args")
+        if not isinstance(args, dict):
+            problems.append(f"{where}.args is not an object")
+        else:
+            for key, value in args.items():
+                if not isinstance(value, _SCALAR_TYPES):
+                    problems.append(
+                        f"{where}.args[{key!r}] is not a JSON scalar "
+                        f"({type(value).__name__})"
+                    )
+    for i, metric in enumerate(metrics):
+        where = f"metrics[{i}]"
+        if not isinstance(metric, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        if set(metric) != {"name", "kind", "labels", "value"}:
+            problems.append(f"{where} keys are {sorted(metric)}")
+            continue
+        if not isinstance(metric["name"], str) or not metric["name"]:
+            problems.append(f"{where}.name is not a non-empty string")
+        kind = metric["kind"]
+        if kind not in ("counter", "gauge", "histogram"):
+            problems.append(f"{where}.kind {kind!r} is unknown")
+        if not isinstance(metric["labels"], dict):
+            problems.append(f"{where}.labels is not an object")
+        value = metric["value"]
+        if kind == "histogram":
+            if not isinstance(value, dict) or set(value) != {
+                "count",
+                "total",
+                "min",
+                "max",
+            }:
+                problems.append(f"{where}.value is not a histogram summary")
+        elif kind in ("counter", "gauge"):
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"{where}.value is not a number")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event export
+
+
+def to_chrome(payload: Dict[str, object]) -> Dict[str, object]:
+    """Convert a native trace payload to Chrome trace-event JSON.
+
+    Simulated seconds become microseconds (the chrome://tracing unit);
+    spans map to complete events (``ph: "X"``), instants to instant
+    events (``ph: "i"``); each category gets its own named thread row so
+    engine epochs, hypervisor activity and store traffic stack visually.
+    """
+    tid_of_cat: Dict[str, int] = {}
+    trace_events: List[Dict[str, object]] = []
+    for event in payload.get("events", []):  # type: ignore[union-attr]
+        cat = event["cat"]
+        tid = tid_of_cat.setdefault(cat, len(tid_of_cat))
+        entry: Dict[str, object] = {
+            "name": event["name"],
+            "cat": cat,
+            "pid": 0,
+            "tid": tid,
+            "ts": float(event["ts"]) * 1e6,
+            "args": event["args"],
+        }
+        if "dur" in event:
+            entry["ph"] = "X"
+            entry["dur"] = float(event["dur"]) * 1e6
+        else:
+            entry["ph"] = "i"
+            entry["s"] = "t"
+        trace_events.append(entry)
+    meta = [
+        {
+            "ph": "M",
+            "name": "thread_name",
+            "pid": 0,
+            "tid": tid,
+            "args": {"name": cat},
+        }
+        for cat, tid in tid_of_cat.items()
+    ]
+    return {
+        "traceEvents": meta + trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "format": payload.get("format"),
+            "engine_version": payload.get("engine_version"),
+        },
+    }

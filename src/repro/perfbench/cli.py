@@ -17,9 +17,11 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import ExitStack
 from pathlib import Path
 from typing import List, Optional
 
+from repro import obs
 from repro.config import SimConfig
 from repro.perfbench.bench import (
     DEFAULT_PAGE_PATH_REPEAT,
@@ -88,6 +90,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="baseline BENCH json to print a delta against",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a deterministic trace + metrics file for the bench runs",
+    )
     return parser
 
 
@@ -148,15 +156,22 @@ def _print_delta(payload: dict, baseline: dict, out) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     config = SimConfig(rng_seed=args.seed)
-    payload = run_benchmarks(
-        label=args.label,
-        config=config,
-        repeat=args.repeat,
-        worlds=args.worlds,
-        solver_iterations=args.solver_iterations,
-        page_path=not args.no_page_path,
-        page_path_repeat=args.page_path_repeat,
-    )
+    obs_session = None
+    with ExitStack() as stack:
+        if args.trace is not None:
+            obs_session = stack.enter_context(obs.session())
+        payload = run_benchmarks(
+            label=args.label,
+            config=config,
+            repeat=args.repeat,
+            worlds=args.worlds,
+            solver_iterations=args.solver_iterations,
+            page_path=not args.no_page_path,
+            page_path_repeat=args.page_path_repeat,
+        )
+    if obs_session is not None:
+        obs_session.write_trace(args.trace)
+        print(f"trace written to {args.trace}", file=sys.stdout)
     out_dir = Path(args.output_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     out_path = out_dir / f"BENCH_{args.label}.json"

@@ -3,9 +3,9 @@
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.runner.exec import execute_request
 from repro.runstore.base import RunStore
 from repro.runstore.memory import MemoryRunStore
@@ -13,9 +13,12 @@ from repro.sim.results import RunResult
 from repro.sim.runspec import RunRequest
 
 
-@dataclass
 class RunnerStats:
     """What one runner did across its ``resolve`` calls.
+
+    Attribute-compatible with the dataclass this replaced; each field is
+    a view over a metric cell registered with the active observability
+    session (:mod:`repro.obs`).
 
     Attributes:
         requested: requests handed to ``resolve`` (before dedup).
@@ -23,9 +26,37 @@ class RunnerStats:
         executed: engine invocations actually performed.
     """
 
-    requested: int = 0
-    deduplicated: int = 0
-    executed: int = 0
+    __slots__ = ("_requested", "_deduplicated", "_executed")
+
+    def __init__(self) -> None:
+        reg = obs.registry()
+        self._requested = reg.counter("runner.requested")
+        self._deduplicated = reg.counter("runner.deduplicated")
+        self._executed = reg.counter("runner.executed")
+
+    @property
+    def requested(self) -> int:
+        return self._requested.value
+
+    @requested.setter
+    def requested(self, value: int) -> None:
+        self._requested.value = value
+
+    @property
+    def deduplicated(self) -> int:
+        return self._deduplicated.value
+
+    @deduplicated.setter
+    def deduplicated(self, value: int) -> None:
+        self._deduplicated.value = value
+
+    @property
+    def executed(self) -> int:
+        return self._executed.value
+
+    @executed.setter
+    def executed(self, value: int) -> None:
+        self._executed.value = value
 
     def summary(self) -> str:
         return (
@@ -80,6 +111,13 @@ class Runner:
         if not todo:
             return
         self.stats.executed += len(todo)
+        tr = obs.tracer()
+        if tr.enabled:
+            # Emitted in the parent before dispatch, so the event order
+            # (declaration order of the misses) is identical whether the
+            # requests then execute serially or on worker processes.
+            for key in todo:
+                tr.instant("runner.execute", cat="runner", key=key)
         if self.jobs == 1 or len(todo) == 1:
             produced = [execute_request(unique[key]) for key in todo]
         else:

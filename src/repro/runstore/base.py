@@ -6,6 +6,7 @@ import abc
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro import obs
 from repro.sim.results import RunResult
 from repro.sim.runspec import RunRequest
 
@@ -35,11 +36,35 @@ class StoreStats:
 
 
 class RunStore(abc.ABC):
-    """Maps ``RunRequest.cache_key()`` -> the request's run results."""
+    """Maps ``RunRequest.cache_key()`` -> the request's run results.
+
+    The ``hits``/``misses`` attributes are views over metric cells
+    registered with the active observability session (:mod:`repro.obs`);
+    ``get`` additionally emits ``store.hit``/``store.miss`` trace events
+    when tracing is on.
+    """
 
     def __init__(self) -> None:
-        self.hits = 0
-        self.misses = 0
+        reg = obs.registry()
+        store = type(self).__name__
+        self._hits = reg.counter("store.hits", store=store)
+        self._misses = reg.counter("store.misses", store=store)
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self._hits.value = value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self._misses.value = value
 
     # ------------------------------------------------------------------
     # Counted access
@@ -51,6 +76,14 @@ class RunStore(abc.ABC):
             self.misses += 1
         else:
             self.hits += 1
+        tr = obs.tracer()
+        if tr.enabled:
+            tr.instant(
+                "store.hit" if results is not None else "store.miss",
+                cat="store",
+                store=type(self).__name__,
+                key=key,
+            )
         return results
 
     def put(self, key: str, results: List[RunResult], request: Optional[RunRequest] = None) -> None:

@@ -12,15 +12,20 @@ deleted on open (the count is surfaced through ``stats()``), and the
 version file is rewritten. Individual entries additionally carry the
 version so a file copied in from elsewhere cannot resurrect stale runs.
 
-Writes are atomic (temp file + rename) so a run killed mid-write never
-leaves a half-entry that would poison later invocations; unreadable or
-malformed entries are treated as misses and removed.
+Writes are atomic (unique temp file + rename) so a run killed mid-write
+never leaves a half-entry that would poison later invocations, and two
+processes saving the same key concurrently (``--jobs N`` workers, or two
+invocations sharing one store) cannot tear each other's temp file — each
+write stages through its own ``mkstemp`` name. Temp files orphaned by a
+crash (``*.json.tmp``) are swept on open and on ``clear()``; unreadable
+or malformed entries are treated as misses and removed.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import tempfile
 from pathlib import Path
 from typing import List, Optional, Union
 
@@ -39,6 +44,7 @@ class DiskRunStore(RunStore):
         super().__init__()
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self._sweep_stale_tmp()
         self._invalidated = self._check_engine_version()
 
     # ------------------------------------------------------------------
@@ -64,6 +70,19 @@ class DiskRunStore(RunStore):
 
     def invalidated_entries(self) -> int:
         return self._invalidated
+
+    def _sweep_stale_tmp(self) -> int:
+        """Remove ``*.json.tmp`` litter left behind by crashed writers.
+
+        Entry files only ever appear via an atomic rename, so any temp
+        file present when the store is (re)opened belongs to a writer
+        that died mid-save and would otherwise be ignored forever.
+        """
+        removed = 0
+        for stale in self.root.glob("*.json.tmp"):
+            self._discard(stale)
+            removed += 1
+        return removed
 
     # ------------------------------------------------------------------
     # Backend interface
@@ -103,9 +122,23 @@ class DiskRunStore(RunStore):
             "results": [r.to_json() for r in results],
         }
         path = self._entry_path(key)
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(payload, sort_keys=True))
-        os.replace(tmp, path)
+        # A per-writer temp name: concurrent saves of the same key each
+        # stage their own file, so the last rename wins with a complete
+        # entry (a shared `<key>.json.tmp` let one writer rename — and
+        # thereby delete — another's half-written temp file). The prefix
+        # keeps the key visible for debugging; the suffix makes orphans
+        # match the `*.json.tmp` sweep.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=f"{key}.", suffix=".json.tmp"
+        )
+        tmp = Path(tmp_name)
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(json.dumps(payload, sort_keys=True))
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # the write or rename failed mid-way
+                self._discard(tmp)
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.json"))
@@ -113,5 +146,6 @@ class DiskRunStore(RunStore):
     def clear(self) -> None:
         for entry in self.root.glob("*.json"):
             entry.unlink()
+        self._sweep_stale_tmp()
         self.reset_counters()
         self._invalidated = 0

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.hardware.counters import CACHE_LINE_BYTES
 from repro.hardware.machine import Machine
 from repro.sim.instance import AppRun
@@ -106,12 +107,16 @@ class CongestionSolver:
         queueing happens at the traffic peaks, not at the epoch average.
 
         The zero-congestion matrix (the idle machine, requested at every
-        engine start-up) is memoized; treat the returned array as
-        read-only.
+        engine start-up) is memoized and returned *read-only* — a caller
+        mutating the shared memo would silently corrupt every later
+        epoch's solver start state, so NumPy now enforces what the old
+        docstring only asked for.
         """
         if not rho_c.any() and not rho_l.any():
             if self._zero_latm is None:
-                self._zero_latm = self._solve_latencies(rho_c, rho_l)
+                memo = self._solve_latencies(rho_c, rho_l)
+                memo.setflags(write=False)
+                self._zero_latm = memo
             return self._zero_latm
         return self._solve_latencies(rho_c, rho_l)
 
@@ -192,6 +197,22 @@ def run_world(
     n = machine.num_nodes
     epoch_seconds = world.epoch_seconds
 
+    # Observability: metric cells registered with the active session (no
+    # session: cells are created but never collected) and trace emission
+    # guarded by one boolean so the disabled path costs nothing. All
+    # trace timestamps come from the simulated clock `now` — never the
+    # wall clock — so identical requests yield byte-identical traces.
+    reg = obs.registry()
+    tracer = obs.tracer()
+    trace_on = tracer.enabled
+    if reg.enabled:
+        epoch_cells = (
+            reg.counter("engine.epochs", world=world.label),
+            reg.histogram("engine.solver_iterations", world=world.label),
+        )
+    else:
+        epoch_cells = None
+
     for run in world.runs:
         run.initialize()
 
@@ -199,6 +220,7 @@ def run_world(
     now = 0.0
     epoch = 0
     while epoch < max_epochs:
+        tracer.set_time(now)
         for hook in world.epoch_hooks.get(epoch, ()):
             hook(world)
         active_runs = [r for r in world.runs if not r.finished]
@@ -212,6 +234,8 @@ def run_world(
         per_run: List[Tuple[AppRun, np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
         rho_c = np.zeros(n)
         rho_l = np.zeros(len(solver.link_bw))
+        iterations = 0
+        delta = 0.0
         for _ in range(SOLVER_ITERATIONS):
             total = np.zeros((n, n))
             per_run = []
@@ -226,8 +250,22 @@ def run_world(
             )
             delta = float(np.abs(new_latm - latm).max()) if latm.size else 0.0
             latm = new_latm
+            iterations += 1
             if solver_epsilon is not None and delta <= solver_epsilon:
                 break
+        if epoch_cells is not None:
+            epoch_cells[0].inc()
+            epoch_cells[1].observe(iterations)
+        if trace_on:
+            tracer.span(
+                "epoch.solve",
+                epoch_seconds,
+                cat="engine",
+                epoch=epoch,
+                iterations=iterations,
+                early_exit_delta=delta,
+                active_runs=len(active_runs),
+            )
 
         # ---- commit work, record traffic and metrics
         total = np.zeros((n, n))
@@ -266,6 +304,17 @@ def run_world(
                     migrations=migrations,
                 )
             )
+            if trace_on:
+                tracer.instant(
+                    "run.commit",
+                    cat="engine",
+                    app=run.app.name,
+                    policy=run.context.policy_label,
+                    epoch=epoch,
+                    ops=float(ops.sum()),
+                    policy_cost_seconds=cost,
+                    migrations=migrations,
+                )
             run.churn_step()
         machine.record_node_traffic(total)
         machine.end_epoch()
@@ -273,6 +322,7 @@ def run_world(
         epoch += 1
 
     results: List[RunResult] = []
+    tracer.set_time(now)
     for run in world.runs:
         # Truncation is per run identity, not per application name: the
         # paper's 2-VM setups run the same app twice, and one VM timing
@@ -290,6 +340,21 @@ def run_world(
             "churn_slowdown": run.context.churn_slowdown,
             "io_seconds_per_op": run.context.io_seconds_per_op,
         }
+        # The transient observability snapshot of the run's context
+        # (fault/queue/p2m/policy counters). Excluded from equality and
+        # serialization, so stored results and reports are unchanged.
+        snapshot = getattr(run.context, "metrics_snapshot", None)
+        metrics = snapshot() if snapshot is not None else {}
+        if trace_on:
+            tracer.instant(
+                "run.result",
+                cat="engine",
+                app=run.app.name,
+                policy=run.context.policy_label,
+                completion_seconds=completion,
+                epochs=epoch,
+                truncated=run_truncated,
+            )
         results.append(
             RunResult(
                 app=run.app.name,
@@ -299,6 +364,7 @@ def run_world(
                 epochs=epoch,
                 records=run.records,
                 stats=stats,
+                metrics=metrics,
             )
         )
     world.teardown()

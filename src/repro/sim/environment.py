@@ -9,7 +9,7 @@ faults, hypervisor faults, page-event queues, policy switches).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -245,6 +245,15 @@ class _PolicyContext:
         """Hook: hand the counter observation to the NUMA policy."""
         raise NotImplementedError
 
+    def metrics_snapshot(self) -> Dict[str, float]:
+        """Flat counter snapshot attached to the run's ``RunResult``.
+
+        Subclasses extend this with their fault/queue/p2m/policy
+        counters; values are plain floats so the snapshot serializes
+        anywhere (it is *not* part of the result's stored form).
+        """
+        return {"guest.init_fault_cost_seconds": float(self.fault_cost_seconds)}
+
     def teardown(self) -> None:
         """Hook: detach policy machinery when the world is torn down."""
         raise NotImplementedError
@@ -342,6 +351,18 @@ class _LinuxContext(_PolicyContext):
 
     def _policy_cost(self, observation) -> float:
         return self.numa_mode.on_epoch(observation)
+
+    def metrics_snapshot(self) -> Dict[str, float]:
+        snap = super().metrics_snapshot()
+        mode = self.numa_mode
+        snap["policy.pages_migrated"] = float(mode.pages_migrated)
+        snap["policy.migration_seconds"] = float(mode.migration_seconds)
+        engine = mode.engine
+        if engine is not None:
+            snap["carrefour.iterations"] = float(len(engine.history))
+            snap["carrefour.commands"] = float(engine.system.total_commands)
+            snap["carrefour.applied"] = float(engine.system.total_applied)
+        return snap
 
     def teardown(self) -> None:
         self.numa_mode.shutdown()
@@ -589,6 +610,38 @@ class _XenContext(_PolicyContext):
         if policy is None:
             return 0.0
         return policy.on_epoch(self.domain, observation)
+
+    def metrics_snapshot(self) -> Dict[str, float]:
+        # Fault-handler counters are per hypervisor, so in multi-VM
+        # worlds every run's snapshot carries the world-wide fault
+        # totals; the p2m and queue counters are this domain's own.
+        snap = super().metrics_snapshot()
+        p2m = self.domain.p2m
+        faults = self.hypervisor.fault_handler.stats
+        queue = self.patch.queue.stats
+        snap.update(
+            {
+                "p2m.num_entries": float(p2m.num_entries),
+                "p2m.num_valid": float(p2m.num_valid),
+                "p2m.invalidations": float(p2m.invalidations),
+                "p2m.migrations": float(p2m.migrations),
+                "faults.hypervisor": float(faults.hypervisor_faults),
+                "faults.write_protection": float(faults.write_protection_faults),
+                "faults.seconds_spent": float(faults.seconds_spent),
+                "queue.events": float(queue.events),
+                "queue.flushes": float(queue.flushes),
+                "queue.flushed_events": float(queue.flushed_events),
+                "queue.lock_acquisitions": float(queue.lock_acquisitions),
+                "queue.flush_hold_seconds": float(queue.flush_hold_seconds),
+                "queue.append_hold_seconds": float(queue.append_hold_seconds),
+            }
+        )
+        engine = getattr(self.domain.numa_policy, "engine", None)
+        if engine is not None:
+            snap["carrefour.iterations"] = float(len(engine.history))
+            snap["carrefour.commands"] = float(engine.system.total_commands)
+            snap["carrefour.applied"] = float(engine.system.total_applied)
+        return snap
 
     def teardown(self) -> None:
         self.patch.detach()

@@ -75,6 +75,11 @@ class RunResult:
         epochs: epochs simulated.
         records: per-epoch details.
         stats: free-form counters (faults, hypercalls, migrations, ...).
+        metrics: transient observability snapshot of the run's context
+            (fault, queue, p2m and policy counters at completion), taken
+            by the engine. Deliberately excluded from equality and from
+            :meth:`to_json`: stored results, reports and cache keys are
+            byte-identical with and without observability enabled.
     """
 
     app: str
@@ -84,6 +89,7 @@ class RunResult:
     epochs: int
     records: List[EpochRecord] = field(default_factory=list)
     stats: Dict[str, float] = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict, compare=False, repr=False)
 
     @property
     def mean_imbalance(self) -> float:

@@ -80,3 +80,14 @@ class TestWriteProtection:
         machine, allocator, internal, handler, domain = setup
         with pytest.raises(P2MError):
             handler.on_write_protected(domain, 5)
+
+    def test_write_fault_on_writable_entry_rejected(self, setup):
+        # Regression: a write fault against a still-writable entry is a
+        # migration-protocol violation (the hardware could not have
+        # trapped that write); it used to be silently accounted.
+        machine, allocator, internal, handler, domain = setup
+        domain.p2m.set_entry(5, 42)
+        with pytest.raises(P2MError, match="writable"):
+            handler.on_write_protected(domain, 5)
+        assert handler.stats.write_protection_faults == 0
+        assert handler.stats.seconds_spent == 0.0

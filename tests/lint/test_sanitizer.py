@@ -174,6 +174,25 @@ class TestHypervisorIntegration:
         with pytest.raises(SanitizerError, match="out-of-order"):
             domain.p2m.remap(3, new_mfn)
 
+    def test_forged_write_protection_fault_trapped(self, hypervisor):
+        """Regression: accounting a write fault against an entry the
+        migration protocol never write-protected must raise.
+
+        The fault handler's own precondition (entry not writable) is
+        satisfied here because the bit was flipped straight through the
+        entry view — only the sanitizer's protocol shadow catches it.
+        """
+        domain = hypervisor.create_domain("vm", num_vcpus=1, memory_pages=16)
+        domain.p2m.lookup(3).writable = False  # forged, not write_protect()
+        with pytest.raises(SanitizerError, match="no migration in flight"):
+            hypervisor.fault_handler.on_write_protected(domain, 3)
+
+    def test_genuine_write_protection_fault_passes(self, hypervisor):
+        domain = hypervisor.create_domain("vm", num_vcpus=1, memory_pages=16)
+        domain.p2m.write_protect(3)
+        hypervisor.fault_handler.on_write_protected(domain, 3)
+        assert hypervisor.fault_handler.stats.write_protection_faults == 1
+
     def test_domain_teardown_is_clean(self, hypervisor):
         domain = hypervisor.create_domain("vm", num_vcpus=1, memory_pages=16)
         hypervisor.destroy_domain(domain)  # remove-then-free must not trap

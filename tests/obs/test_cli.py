@@ -1,0 +1,80 @@
+"""``python -m repro.obs`` subcommands against real and broken traces."""
+
+import json
+
+from repro import obs
+from repro.obs.cli import main
+from repro.sim.engine import ENGINE_VERSION
+
+
+def _write_trace(tmp_path, name="trace.json"):
+    with obs.session() as sess:
+        reg, tr = sess.registry, sess.tracer
+        reg.counter("faults.hypervisor", domain=1).inc(3)
+        reg.counter("faults.hypervisor", domain=2).inc(4)
+        reg.histogram("engine.solver_iterations").observe(8)
+        tr.set_time(1.0)
+        tr.span("epoch.solve", 0.5, cat="engine", iterations=8)
+        tr.instant("store.hit", cat="store", key="k")
+    return sess.write_trace(tmp_path / name)
+
+
+class TestSummary:
+    def test_aggregates_events_and_metrics(self, tmp_path, capsys):
+        path = _write_trace(tmp_path)
+        assert main(["summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"engine version {ENGINE_VERSION}" in out
+        assert "engine/epoch.solve" in out
+        assert "store/store.hit" in out
+        # the two same-named counters aggregate to one line, total 7
+        assert "faults.hypervisor" in out
+        assert "2 cells  total 7" in out
+        assert "1 samples" in out
+
+    def test_missing_file_fails(self, tmp_path, capsys):
+        assert main(["summary", str(tmp_path / "nope.json")]) == 1
+        assert "does not exist" in capsys.readouterr().err
+
+
+class TestValidate:
+    def test_valid_trace_passes(self, tmp_path, capsys):
+        path = _write_trace(tmp_path)
+        assert main(["validate", str(path)]) == 0
+        assert "valid trace (2 events, 3 metric cells)" in capsys.readouterr().out
+
+    def test_broken_trace_fails_with_problems(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps({"format": "repro-trace", "version": 99}))
+        assert main(["validate", str(path)]) == 1
+        assert "invalid:" in capsys.readouterr().err
+
+    def test_unreadable_json_fails(self, tmp_path, capsys):
+        path = tmp_path / "garbage.json"
+        path.write_text("{")
+        assert main(["validate", str(path)]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestExport:
+    def test_chrome_export_writes_default_path(self, tmp_path, capsys):
+        path = _write_trace(tmp_path)
+        assert main(["export", "--format", "chrome", str(path)]) == 0
+        out_path = tmp_path / "trace.chrome.json"
+        assert "wrote" in capsys.readouterr().out
+        chrome = json.loads(out_path.read_text())
+        phases = {e["ph"] for e in chrome["traceEvents"]}
+        assert {"M", "X", "i"} <= phases
+
+    def test_explicit_output_path(self, tmp_path):
+        path = _write_trace(tmp_path)
+        target = tmp_path / "out.json"
+        assert main(["export", str(path), "-o", str(target)]) == 0
+        assert json.loads(target.read_text())["displayTimeUnit"] == "ms"
+
+    def test_invalid_trace_not_exported(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "other"}))
+        assert main(["export", str(path)]) == 1
+        assert "not a valid trace" in capsys.readouterr().err
+        assert not (tmp_path / "bad.chrome.json").exists()

@@ -1,0 +1,121 @@
+"""The observability determinism contract, end to end.
+
+Two executions of the same ``RunRequest`` must emit byte-identical trace
+files, and collecting must not perturb the simulation: results with a
+session active equal results without one, and the per-result metrics
+snapshot agrees with the legacy counter attributes it mirrors.
+"""
+
+from repro import obs
+from repro.config import SimConfig
+from repro.core.policies.base import PolicyName, PolicySpec
+from repro.runner.exec import execute_request
+from repro.sim.engine import run_world
+from repro.sim.environment import VmSpec, XenEnvironment
+from repro.sim.runspec import RunRequest, VmRequest
+from repro.workloads.suite import get_app
+
+from tests.conftest import fast_app
+
+
+def _request():
+    return RunRequest(
+        environment="xen",
+        vms=(VmRequest(app="streamcluster", policy="first-touch", carrefour=True),),
+        features="Xen+",
+        config=SimConfig(),
+    )
+
+
+def _trace_of(request):
+    with obs.session() as sess:
+        results = execute_request(request)
+    return results, obs.dump_payload(sess.payload())
+
+
+class TestByteIdenticalTraces:
+    def test_same_request_same_bytes(self, tmp_path):
+        request = _request()
+        results_a, text_a = _trace_of(request)
+        results_b, text_b = _trace_of(request)
+        assert results_a == results_b
+        assert text_a == text_b
+        # and the file write is the same canonical form
+        with obs.session() as sess:
+            execute_request(request)
+        path = sess.write_trace(tmp_path / "t.json")
+        assert path.read_text() == text_a
+
+    def test_trace_is_schema_valid_and_nonempty(self):
+        with obs.session() as sess:
+            execute_request(_request())
+            payload = sess.payload()
+        assert obs.validate_payload(payload) == []
+        cats = {event["cat"] for event in payload["events"]}
+        assert {"engine", "hypervisor", "policy"} <= cats
+        names = {event["name"] for event in payload["events"]}
+        assert {"epoch.solve", "run.commit", "run.result"} <= names
+        assert any(m["name"] == "engine.solver_iterations" for m in payload["metrics"])
+
+    def test_timestamps_are_simulated_seconds(self):
+        with obs.session() as sess:
+            results = execute_request(_request())
+            payload = sess.payload()
+        horizon = max(r.completion_seconds for r in results)
+        ts = [event["ts"] for event in payload["events"]]
+        assert ts == sorted(ts)  # the engine's epoch clock only advances
+        assert all(0.0 <= t <= horizon + 1.0 for t in ts)
+
+
+class TestCollectionDoesNotPerturb:
+    def test_results_equal_with_and_without_session(self):
+        request = _request()
+        plain = execute_request(request)
+        with obs.session():
+            observed = execute_request(request)
+        assert observed == plain
+
+    def test_metrics_snapshot_attached_even_without_session(self):
+        result = execute_request(_request())[0]
+        assert result.metrics["faults.hypervisor"] > 0
+        assert result.metrics["queue.flushes"] > 0
+
+    def test_metrics_excluded_from_equality_and_json(self):
+        result = execute_request(_request())[0]
+        stripped = type(result).from_json(result.to_json())
+        assert "metrics" not in result.to_json()
+        assert stripped.metrics == {}
+        assert stripped == result
+
+
+class TestLegacyCounterParity:
+    def test_snapshot_matches_live_context_counters(self):
+        env = XenEnvironment()
+        app = fast_app(get_app("streamcluster"))
+        policy = PolicySpec(PolicyName.FIRST_TOUCH, carrefour=True)
+        with obs.session() as sess:
+            # setup inside the session so the components' cells are
+            # retained by the live registry
+            world = env.setup([VmSpec(app=app, policy=policy)])
+            results = run_world(world)
+            context = world.runs[0].context
+            snap = results[0].metrics
+            assert snap["faults.hypervisor"] == float(
+                context.hypervisor.fault_handler.stats.hypervisor_faults
+            )
+            assert snap["p2m.migrations"] == float(context.domain.p2m.migrations)
+            assert snap["queue.flushed_events"] == float(
+                context.patch.queue.stats.flushed_events
+            )
+            engine = context.domain.numa_policy.engine
+            assert snap["carrefour.iterations"] == float(len(engine.history))
+            assert snap["carrefour.applied"] == float(engine.system.total_applied)
+            # the registry saw the same cells the views mutate
+            by_name = {}
+            for metric in sess.registry.snapshot():
+                if not isinstance(metric["value"], dict):
+                    by_name[metric["name"]] = (
+                        by_name.get(metric["name"], 0) + metric["value"]
+                    )
+            assert by_name["faults.hypervisor"] == snap["faults.hypervisor"]
+            assert by_name["carrefour.applied"] == snap["carrefour.applied"]

@@ -1,0 +1,100 @@
+"""Metric cells and the registry roster."""
+
+import pytest
+
+from repro import obs
+from repro.errors import ObsError
+from repro.obs import MetricsRegistry
+
+
+class TestCells:
+    def test_counter_counts(self):
+        reg = MetricsRegistry()
+        cell = reg.counter("c", unit="pages")
+        cell.inc()
+        cell.inc(41)
+        assert cell.value == 42
+        assert cell.snapshot() == {
+            "name": "c",
+            "kind": "counter",
+            "labels": {"unit": "pages"},
+            "value": 42,
+        }
+
+    def test_counter_float_start(self):
+        cell = MetricsRegistry().counter("seconds", value=0.0)
+        cell.value += 0.5
+        assert cell.value == 0.5
+
+    def test_gauge_last_write_wins(self):
+        cell = MetricsRegistry().gauge("g")
+        cell.set(3)
+        cell.set(1)
+        assert cell.value == 1
+        assert cell.snapshot()["kind"] == "gauge"
+
+    def test_histogram_moments(self):
+        cell = MetricsRegistry().histogram("h")
+        assert cell.snapshot()["value"] == {
+            "count": 0, "total": 0.0, "min": None, "max": None,
+        }
+        for sample in (3, 1, 2):
+            cell.observe(sample)
+        assert cell.count == 3
+        assert cell.total == 6.0
+        assert (cell.min, cell.max) == (1.0, 3.0)
+        assert cell.mean == 2.0
+
+    def test_histogram_mean_of_empty_is_zero(self):
+        assert MetricsRegistry().histogram("h").mean == 0.0
+
+
+class TestRegistry:
+    def test_enabled_registry_retains_in_creation_order(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("a")
+        reg.gauge("b")
+        reg.histogram("c")
+        assert len(reg) == 3
+        assert [cell["name"] for cell in reg.snapshot()] == ["a", "b", "c"]
+
+    def test_duplicate_names_keep_one_entry_per_cell(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("faults.hypervisor").inc(2)
+        reg.counter("faults.hypervisor").inc(3)
+        values = [c["value"] for c in reg.snapshot()]
+        assert values == [2, 3]
+
+    def test_disabled_registry_cells_still_count(self):
+        # The no-op recorder: cells work identically, nothing is kept.
+        reg = MetricsRegistry(enabled=False)
+        cell = reg.counter("c")
+        cell.inc(7)
+        assert cell.value == 7
+        assert len(reg) == 0
+        assert reg.snapshot() == []
+
+
+class TestSessionAccessors:
+    def test_no_session_hands_out_disabled_registry(self):
+        assert not obs.enabled()
+        assert obs.active() is None
+        assert obs.registry().enabled is False
+        assert obs.tracer().enabled is False
+
+    def test_session_swaps_in_live_registry_and_tracer(self):
+        with obs.session() as sess:
+            assert obs.enabled()
+            assert obs.active() is sess
+            assert obs.registry() is sess.registry
+            assert obs.tracer() is sess.tracer
+            assert obs.registry().enabled
+        assert not obs.enabled()
+
+    def test_nested_sessions_rejected(self):
+        with obs.session():
+            with pytest.raises(ObsError, match="already active"):
+                with obs.session():
+                    pass
+        # the failed nesting must not have torn down the outer cleanup
+        assert not obs.enabled()

@@ -1,0 +1,132 @@
+"""Tracer mechanics, payload schema validation, and the chrome export."""
+
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    NullTracer,
+    Tracer,
+    build_payload,
+    dump_payload,
+    to_chrome,
+    validate_payload,
+    write_trace,
+)
+from repro.sim.engine import ENGINE_VERSION
+
+
+def _payload(events=(), metrics=()):
+    return {
+        "format": "repro-trace",
+        "version": 1,
+        "engine_version": ENGINE_VERSION,
+        "events": list(events),
+        "metrics": list(metrics),
+    }
+
+
+class TestTracer:
+    def test_events_carry_seq_and_sim_time(self):
+        tr = Tracer()
+        tr.instant("boot", cat="engine")
+        tr.set_time(2.5)
+        tr.span("solve", 0.25, cat="engine", iterations=3)
+        assert tr.events == [
+            {"seq": 0, "ts": 0.0, "name": "boot", "cat": "engine", "args": {}},
+            {
+                "seq": 1, "ts": 2.5, "name": "solve", "cat": "engine",
+                "args": {"iterations": 3}, "dur": 0.25,
+            },
+        ]
+
+    def test_null_tracer_records_nothing(self):
+        tr = NullTracer()
+        assert tr.enabled is False
+        tr.set_time(1.0)
+        tr.instant("x")
+        tr.span("y", 1.0)
+        assert tr.events == ()
+
+
+class TestPayload:
+    def test_build_payload_is_valid(self):
+        tr = Tracer()
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.histogram("h").observe(2)
+        tr.instant("e", cat="engine", n=1)
+        payload = build_payload(tr, reg)
+        assert payload["engine_version"] == ENGINE_VERSION
+        assert validate_payload(payload) == []
+
+    def test_dump_is_canonical(self):
+        text = dump_payload(_payload())
+        assert text.endswith("\n")
+        assert " " not in text
+        assert json.loads(text)["format"] == "repro-trace"
+
+    def test_write_trace_round_trips(self, tmp_path):
+        path = write_trace(tmp_path / "t.json", _payload())
+        assert json.loads(path.read_text()) == _payload()
+
+
+class TestValidate:
+    def test_rejects_non_object(self):
+        assert validate_payload([]) == ["top level is not a JSON object"]
+
+    def test_rejects_wrong_header(self):
+        problems = validate_payload({"format": "x", "version": 2})
+        assert any("format" in p for p in problems)
+        assert any("version" in p for p in problems)
+        assert any("engine_version" in p for p in problems)
+
+    def test_rejects_bad_events(self):
+        events = [
+            {"seq": 0, "ts": -1.0, "name": "a", "cat": "c", "args": {}},
+            {"seq": 0, "ts": 0.0, "name": "", "cat": "c", "args": {}},
+            {"seq": 2, "ts": 0.0, "name": "a", "cat": "c", "args": {"v": [1]},
+             "bogus": 1},
+        ]
+        problems = validate_payload(_payload(events=events))
+        assert any("ts is not a non-negative" in p for p in problems)
+        assert any("not strictly increasing" in p for p in problems)
+        assert any("name is not a non-empty string" in p for p in problems)
+        assert any("unknown keys" in p for p in problems)
+        assert any("not a JSON scalar" in p for p in problems)
+
+    def test_rejects_bad_metrics(self):
+        metrics = [
+            {"name": "c", "kind": "counter", "labels": {}, "value": True},
+            {"name": "h", "kind": "histogram", "labels": {}, "value": {}},
+            {"name": "g", "kind": "dial", "labels": {}, "value": 1},
+            {"name": "x"},
+        ]
+        problems = validate_payload(_payload(metrics=metrics))
+        assert any("value is not a number" in p for p in problems)
+        assert any("not a histogram summary" in p for p in problems)
+        assert any("'dial' is unknown" in p for p in problems)
+        assert any("keys are" in p for p in problems)
+
+
+class TestChromeExport:
+    def test_categories_become_named_threads(self):
+        events = [
+            {"seq": 0, "ts": 1.0, "name": "solve", "cat": "engine",
+             "args": {}, "dur": 0.5},
+            {"seq": 1, "ts": 1.0, "name": "hit", "cat": "store", "args": {}},
+            {"seq": 2, "ts": 2.0, "name": "solve", "cat": "engine", "args": {}},
+        ]
+        chrome = to_chrome(_payload(events=events))
+        trace_events = chrome["traceEvents"]
+        names = [
+            e["args"]["name"] for e in trace_events if e["ph"] == "M"
+        ]
+        assert names == ["engine", "store"]
+        span = next(e for e in trace_events if e.get("ph") == "X")
+        assert span["ts"] == 1.0e6 and span["dur"] == 0.5e6
+        instants = [e for e in trace_events if e.get("ph") == "i"]
+        assert all(e["s"] == "t" for e in instants)
+        # both engine events land on the same tid, store on another
+        tids = {e["cat"]: e["tid"] for e in trace_events if e["ph"] != "M"}
+        assert tids["engine"] != tids["store"]
+        assert chrome["otherData"]["engine_version"] == ENGINE_VERSION

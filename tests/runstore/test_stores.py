@@ -119,6 +119,70 @@ class TestDiskStore:
         assert payload["request"] == request.to_json()
 
 
+class TestDiskStoreCrashSafety:
+    """Torn/concurrent writes and crash litter (regression tests).
+
+    The original ``_save`` staged every write of one key at the shared
+    name ``<key>.json.tmp``: a concurrent save renamed — and thereby
+    destroyed — the other writer's half-written temp file, and a temp
+    file orphaned by a crash sat in the store directory forever.
+    """
+
+    def test_concurrent_saves_of_same_key(self, tmp_path, monkeypatch):
+        import os as os_module
+
+        store = DiskRunStore(tmp_path / "rs")
+        real_replace = os_module.replace
+        reentered = False
+
+        def racing_replace(src, dst, **kwargs):
+            # The moment the first save reaches its rename, a second
+            # save of the same key runs start to finish — exactly the
+            # interleaving two processes produce. With a shared temp
+            # name the second save renames the first writer's file away
+            # and the outer rename dies with FileNotFoundError.
+            nonlocal reentered
+            if not reentered:
+                reentered = True
+                store.put(KEY, _results())
+            return real_replace(src, dst, **kwargs)
+
+        monkeypatch.setattr("repro.runstore.disk.os.replace", racing_replace)
+        store.put(KEY, _results())
+        monkeypatch.undo()
+        assert reentered
+        loaded = store.get(KEY)
+        assert loaded == _results()
+        assert list((tmp_path / "rs").glob("*.json.tmp")) == []
+
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        root = tmp_path / "rs"
+        store = DiskRunStore(root)
+        store.put(KEY, _results())
+        store.put(OTHER, _results())
+        assert list(root.glob("*.json.tmp")) == []
+        assert len(store) == 2
+
+    def test_stale_tmp_swept_on_open(self, tmp_path):
+        root = tmp_path / "rs"
+        DiskRunStore(root).put(KEY, _results())
+        litter = root / f"{OTHER}.12345.json.tmp"
+        litter.write_text("half-written entry from a crashed writer")
+        store = DiskRunStore(root)
+        assert not litter.exists()
+        assert store.get(KEY) is not None  # real entries untouched
+
+    def test_stale_tmp_swept_on_clear(self, tmp_path):
+        root = tmp_path / "rs"
+        store = DiskRunStore(root)
+        store.put(KEY, _results())
+        litter = root / f"{KEY}.999.json.tmp"
+        litter.write_text("crash litter")
+        store.clear()
+        assert not litter.exists()
+        assert len(store) == 0
+
+
 class TestOpenStore:
     @pytest.mark.parametrize("spec", [None, "", "memory"])
     def test_memory_specs(self, spec):

@@ -69,6 +69,20 @@ class TestOracleEquivalence:
             first, loop_latency_matrix(solver, np.zeros(n), zeros_l)
         )
 
+    def test_zero_latency_matrix_is_read_only(self, solver):
+        # Regression: the memo used to be handed out writable, so one
+        # caller scribbling on it poisoned every later zero-congestion
+        # epoch of the same solver.
+        n = solver.num_nodes
+        zeros_l = np.zeros(len(solver.link_bw))
+        latm = solver.latency_matrix(np.zeros(n), zeros_l)
+        with pytest.raises(ValueError):
+            latm[0, 0] = 123.0
+        np.testing.assert_array_equal(
+            solver.latency_matrix(np.zeros(n), zeros_l),
+            loop_latency_matrix(solver, np.zeros(n), zeros_l),
+        )
+
 
 class TestEarlyExit:
     def test_results_identical_with_and_without_skipping(self):
