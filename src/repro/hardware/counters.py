@@ -97,8 +97,14 @@ class PerfCounters:
         self.matrix += matrix
 
     def end_epoch(self) -> np.ndarray:
-        """Archive and reset the per-epoch matrix; returns the snapshot."""
+        """Archive and reset the per-epoch matrix; returns the snapshot.
+
+        The returned array *is* the archived history entry, frozen
+        (``setflags(write=False)``): a caller writing through the alias
+        would silently rewrite :attr:`epoch_history`.
+        """
         snapshot = self.matrix.copy()
+        snapshot.setflags(write=False)
         self.epoch_history.append(snapshot)
         self.matrix = np.zeros_like(self.matrix)
         return snapshot

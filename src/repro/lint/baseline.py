@@ -1,0 +1,123 @@
+"""The findings baseline: the escape hatch of ``--strict``.
+
+A baseline entry grandfathers a *known, reviewed* finding — a deliberate
+module-level switch, a legacy shim — so ``--strict`` can gate on
+everything else. Entries match on ``(rule_id, file, message)`` with a
+count, **not** on line numbers: editing code above a baselined finding
+must not break CI, and ``--baseline-update`` regenerates the file
+deterministically (sorted, stable keys) so its diffs stay reviewable.
+The recorded ``line`` is informational — where the finding sat when the
+baseline was last regenerated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Tuple
+
+from repro.errors import ReproError
+from repro.lint.findings import Finding
+
+#: Version of the baseline file format.
+BASELINE_VERSION = 1
+
+#: Default baseline path, relative to the invocation directory.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+Key = Tuple[str, str, str]  # (rule_id, file, message)
+
+
+def _norm_path(path: str) -> str:
+    return os.path.normpath(path).replace("\\", "/")
+
+
+def _key(finding: Finding) -> Key:
+    return (finding.rule_id, _norm_path(finding.path), finding.message)
+
+
+def load_baseline(path: str) -> Dict[Key, int]:
+    """Parse a baseline file into allowed counts per finding signature.
+
+    Raises:
+        ReproError: unreadable file or unsupported schema.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise ReproError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise ReproError(f"baseline {path} has no findings list")
+    version = payload.get("schema_version")
+    if version != BASELINE_VERSION:
+        raise ReproError(
+            f"baseline {path} has schema_version {version!r}; "
+            f"this analyzer reads version {BASELINE_VERSION}"
+        )
+    allowed: Dict[Key, int] = {}
+    for entry in payload["findings"]:
+        key = (
+            entry["rule_id"],
+            _norm_path(entry["file"]),
+            entry["message"],
+        )
+        allowed[key] = allowed.get(key, 0) + int(entry.get("count", 1))
+    return allowed
+
+
+def apply_baseline(
+    findings: List[Finding], allowed: Dict[Key, int]
+) -> Tuple[List[Finding], int]:
+    """Split findings into (kept, suppressed-count) under the baseline.
+
+    The first ``count`` findings of each signature (in report order) are
+    suppressed; any excess — a regression beyond what was reviewed —
+    stays in the report.
+    """
+    budget = dict(allowed)
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        key = _key(finding)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed
+
+
+def render_baseline(findings: List[Finding]) -> str:
+    """Serialize ``findings`` as a baseline file (sorted, stable keys)."""
+    grouped: Dict[Key, Dict[str, object]] = {}
+    for finding in sorted(findings, key=lambda f: f.sort_key):
+        key = _key(finding)
+        entry = grouped.get(key)
+        if entry is None:
+            grouped[key] = {
+                "rule_id": finding.rule_id,
+                "file": _norm_path(finding.path),
+                "line": finding.line,
+                "message": finding.message,
+                "count": 1,
+            }
+        else:
+            entry["count"] = int(entry["count"]) + 1
+    entries = [grouped[key] for key in sorted(grouped)]
+    return json.dumps(
+        {
+            "schema_version": BASELINE_VERSION,
+            "tool": "repro.lint",
+            "findings": entries,
+        },
+        indent=2,
+        sort_keys=True,
+    ) + "\n"
+
+
+def save_baseline(path: str, findings: List[Finding]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_baseline(findings))

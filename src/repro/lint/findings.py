@@ -2,8 +2,13 @@
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import dataclass
 from typing import Dict, Tuple, Union
+
+#: Version of the JSON finding schema emitted by ``--format json``.
+#: Version 2 renamed ``path`` to ``file`` and added ``severity`` and the
+#: top-level ``schema_version`` field.
+FINDINGS_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -17,6 +22,7 @@ class Finding:
         line: 1-based source line.
         col: 1-based source column.
         message: what is wrong and what the sanctioned pattern is.
+        severity: "error" (gating) or "warning" (informational).
     """
 
     rule_id: str
@@ -25,14 +31,36 @@ class Finding:
     line: int
     col: int
     message: str
+    severity: str = "error"
 
     @property
     def sort_key(self) -> Tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.rule_id)
 
     def to_dict(self) -> Dict[str, Union[str, int]]:
-        """JSON-ready representation."""
-        return asdict(self)
+        """JSON-ready representation (schema version 2 keys)."""
+        return {
+            "rule_id": self.rule_id,
+            "rule_name": self.rule_name,
+            "severity": self.severity,
+            "file": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Union[str, int]]) -> "Finding":
+        """Rebuild a finding from its :meth:`to_dict` form (round-trip)."""
+        return cls(
+            rule_id=str(payload["rule_id"]),
+            rule_name=str(payload["rule_name"]),
+            path=str(payload["file"]),
+            line=int(payload["line"]),
+            col=int(payload["col"]),
+            message=str(payload["message"]),
+            severity=str(payload.get("severity", "error")),
+        )
 
     def render(self) -> str:
         """``path:line:col: RULE [name] message`` — one line per finding."""

@@ -268,11 +268,18 @@ def run_world(
             )
 
         # ---- commit work, record traffic and metrics
+        # One rho_c array is shared by every run's observation this
+        # epoch, and EpochRecord reads observation.imbalance *after* the
+        # policy callback ran — freeze the observation inputs so policy
+        # code cannot (even accidentally) mutate a sibling's view or its
+        # own archived metrics through the alias.
+        rho_c.setflags(write=False)
         total = np.zeros((n, n))
         for run, D, src, active, ops in per_run:
             run.commit_work(ops, now, epoch_seconds)
             matrix = _per_run_matrix(D, src, ops, n)
             total += matrix
+            matrix.setflags(write=False)
             # The run's own *contribution* to the links, archived in its
             # EpochRecord; the observation below instead carries the
             # world-total utilisations — the congestion the run

@@ -214,8 +214,9 @@ class AppRun:
         The result is cached and recomputed only when an input actually
         changed: a segment placement mutated (churn, policy migration,
         release) or a thread moved node or finished. Steady-state epochs —
-        no churn, static policy — reuse the cached arrays; callers must
-        treat them as read-only.
+        no churn, static policy — reuse the cached arrays, which are
+        frozen (``setflags(write=False)``): a caller mutating the shared
+        memo would silently skew every later epoch's solver input.
 
         Returns:
             (D, src_nodes, active): D[t] is thread t's access distribution
@@ -254,6 +255,9 @@ class AppRun:
                 else shared_dist
             )
             D[t.tid] = share * shared_dist + (1.0 - share) * pdist
+        D.setflags(write=False)
+        src.setflags(write=False)
+        active.setflags(write=False)
         self._dest_cache = (key, (D, src, active))
         return D, src, active
 

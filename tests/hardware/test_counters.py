@@ -137,3 +137,27 @@ class TestHotPageSample:
         sample = HotPageSample(page=1, domain_id=0, node_accesses=(5, 80, 15, 0))
         assert sample.dominant_node == 1
         assert sample.total == 100
+
+
+class TestSnapshotAliasing:
+    """Regression: the end_epoch return aliases the archived history
+    entry (RPR009 archive-alias); it must be frozen so a caller cannot
+    rewrite epoch_history through it."""
+
+    def test_snapshot_is_read_only(self, counters):
+        counters.record(0, 1, 3)
+        snap = counters.end_epoch()
+        assert not snap.flags.writeable
+        with pytest.raises(ValueError):
+            snap[0, 1] = 99.0
+
+    def test_history_entry_is_the_frozen_snapshot(self, counters):
+        counters.record(2, 3, 5)
+        snap = counters.end_epoch()
+        assert counters.epoch_history[0] is snap
+        assert counters.epoch_history[0][2, 3] == 5
+
+    def test_next_epoch_matrix_stays_writable(self, counters):
+        counters.end_epoch()
+        counters.record(0, 0, 1)  # must not raise
+        assert counters.matrix[0, 0] == 1

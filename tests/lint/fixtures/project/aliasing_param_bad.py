@@ -1,0 +1,19 @@
+"""RPR010 firing fixture: undocumented in-place parameter mutation."""
+
+import numpy as np
+
+
+def normalize(matrix):
+    matrix[...] = matrix / matrix.sum()
+
+
+def reset(buffer):
+    buffer.fill(0.0)
+
+
+def scatter(target, values):
+    np.copyto(target, values)
+
+
+def accumulate(totals, amounts):
+    totals[:] += amounts

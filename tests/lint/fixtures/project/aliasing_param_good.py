@@ -1,0 +1,27 @@
+"""RPR010 silent fixture: sanctioned in-place parameter contracts."""
+
+import numpy as np
+
+
+def normalize_into(matrix, out):
+    out[...] = matrix / matrix.sum()  # numpy's own out= convention
+
+
+def reset(buffer):
+    """Zero ``buffer`` in place (the caller's array is overwritten)."""
+    buffer.fill(0.0)
+
+
+def scatter(target, values):
+    """Copy ``values`` into ``target`` in place."""
+    np.copyto(target, values)
+
+
+def doubled(matrix):
+    matrix = matrix.copy()  # rebound: no longer the caller's array
+    matrix[...] *= 2.0
+    return matrix
+
+
+def read_only(matrix):
+    return float(matrix.sum())

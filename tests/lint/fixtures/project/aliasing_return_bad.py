@@ -1,0 +1,33 @@
+"""RPR009 firing fixture: writable aliases of internal ndarrays escape."""
+
+import numpy as np
+
+
+class LeakyAttribute:
+    def __init__(self, n):
+        self._matrix = np.zeros((n, n))
+
+    def matrix(self):
+        return self._matrix  # live alias of internal state
+
+
+class LeakyMemo:
+    def __init__(self):
+        self._cache = {}
+
+    def lookup(self, key):
+        if key not in self._cache:
+            value = np.zeros(4)
+            self._cache[key] = value
+        return self._cache[key]  # memoized array handed out writable
+
+
+class LeakyArchive:
+    def __init__(self):
+        self.history = []
+        self.state = np.zeros(3)
+
+    def snapshot(self):
+        snap = self.state.copy()
+        self.history.append(snap)
+        return snap  # the caller's array IS the history entry

@@ -1,0 +1,44 @@
+"""RPR009 silent fixture: the sanctioned ways to hand out arrays."""
+
+import numpy as np
+
+
+class FrozenAttribute:
+    def __init__(self, n):
+        self._matrix = np.zeros((n, n))
+        self._matrix.setflags(write=False)
+
+    def matrix(self):
+        return self._matrix  # frozen before it can escape
+
+
+class CopyingAttribute:
+    def __init__(self, n):
+        self._matrix = np.zeros((n, n))
+
+    def matrix(self):
+        return self._matrix.copy()  # the caller owns the copy
+
+
+class FrozenMemo:
+    def __init__(self):
+        self._cache = {}
+
+    def lookup(self, key):
+        if key not in self._cache:
+            value = np.zeros(4)
+            value.setflags(write=False)
+            self._cache[key] = value
+        return self._cache[key]
+
+
+class FrozenArchive:
+    def __init__(self):
+        self.history = []
+        self.state = np.zeros(3)
+
+    def snapshot(self):
+        snap = self.state.copy()
+        snap.setflags(write=False)
+        self.history.append(snap)
+        return snap

@@ -1,0 +1,37 @@
+"""RPR008 firing fixture: migration-protocol-violating call sequences."""
+
+
+def double_protect(p2m, gpfn):
+    p2m.write_protect(gpfn)
+    p2m.write_protect(gpfn)  # already write-protected
+
+
+def invalidate_mid_migration(p2m, gpfn):
+    p2m.set_entry(gpfn, 1)
+    p2m.write_protect(gpfn)
+    p2m.invalidate(gpfn)  # abandons the in-flight migration
+
+
+def free_mid_migration(p2m, gpfn):
+    p2m.set_entry(gpfn, 1)
+    p2m.write_protect(gpfn)
+    p2m.remove(gpfn)  # frees the frame the protocol still copies from
+
+
+def remap_without_protect(p2m, gpfn):
+    p2m.set_entry(gpfn, 1)
+    p2m.remap(gpfn, 2)  # remap requires a write-protected entry
+
+
+def double_free(p2m, gpfn):
+    p2m.remove(gpfn)
+    p2m.remove(gpfn)  # double free
+
+
+def violating_on_every_branch(p2m, gpfn, fast):
+    p2m.write_protect(gpfn)
+    if fast:
+        p2m.remap(gpfn, 3)
+    else:
+        p2m.unprotect(gpfn)
+    p2m.unprotect(gpfn)  # mapped on both paths: always a violation

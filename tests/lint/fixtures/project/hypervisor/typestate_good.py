@@ -1,0 +1,45 @@
+"""RPR008 silent fixture: protocol-correct p2m call sequences."""
+
+
+def migrate(p2m, gpfn, new_mfn):
+    p2m.write_protect(gpfn)
+    return p2m.remap(gpfn, new_mfn)
+
+
+def migrate_or_abort(p2m, gpfn, new_mfn, failed):
+    p2m.write_protect(gpfn)
+    if failed:
+        p2m.unprotect(gpfn)
+    else:
+        p2m.remap(gpfn, new_mfn)
+
+
+def first_touch_cycle(p2m, gpfn):
+    p2m.set_entry(gpfn, 3)
+    p2m.invalidate(gpfn)
+    p2m.set_entry(gpfn, 4)
+    p2m.remove(gpfn)
+
+
+def distinct_pages(p2m, a, b):
+    # b's protocol is not satisfied by a's write-protect: separate keys.
+    p2m.write_protect(a)
+    p2m.remap(a, 1)
+    p2m.write_protect(b)
+    p2m.remap(b, 2)
+
+
+def migrate_batch(p2m, gpfns, mfns):
+    for gpfn, mfn in zip(gpfns, mfns):
+        p2m.write_protect(gpfn)
+        p2m.remap(gpfn, mfn)
+
+
+def guarded_migration(p2m, gpfn, new_mfn):
+    p2m.write_protect(gpfn)
+    try:
+        p2m.remap(gpfn, new_mfn)
+    except RuntimeError:
+        # The remap may or may not have happened; either way this is
+        # legal on at least one path.
+        p2m.unprotect(gpfn)

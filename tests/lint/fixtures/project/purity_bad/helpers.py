@@ -1,0 +1,23 @@
+"""Reachable helpers carrying every impurity kind."""
+
+import os
+import time
+
+import numpy as np
+
+_SEEN = []
+
+
+def annotate(request):
+    return {
+        "at": time.time(),
+        "host": os.getenv("HOSTNAME"),
+    }
+
+
+def simulate(request):
+    _SEEN.append(request)
+    rng = np.random.default_rng()
+    with open("/tmp/fixture-debug.log", "w") as handle:
+        handle.write("simulated")
+    return rng.random()

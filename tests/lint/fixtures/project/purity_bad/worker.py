@@ -1,0 +1,8 @@
+"""RPR007 firing fixture: an impure execute_request closure."""
+
+import helpers
+
+
+def execute_request(request):
+    annotation = helpers.annotate(request)
+    return helpers.simulate(request), annotation

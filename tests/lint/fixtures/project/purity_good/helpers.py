@@ -1,0 +1,16 @@
+"""Pure helpers: seeded randomness, no clock, no filesystem."""
+
+import numpy as np
+
+
+def simulate(request):
+    rng = np.random.default_rng(request["seed"])
+    samples = rng.random(8)
+    return float(samples.sum())
+
+
+def unreachable_impurity():
+    # Impure, but not reachable from execute_request: RPR007 stays quiet.
+    import time
+
+    return time.time()

@@ -1,0 +1,7 @@
+"""RPR007 silent fixture: a pure execute_request closure."""
+
+import helpers
+
+
+def execute_request(request):
+    return helpers.simulate(request)

@@ -1,0 +1,18 @@
+"""RPR006 firing fixture: module-level mutables written at runtime."""
+
+_REGISTRY = {}
+_EVENTS = []
+_MODE = "fast"
+
+
+def register(name, value):
+    _REGISTRY[name] = value  # subscript store into a module-level dict
+
+
+def log_event(event):
+    _EVENTS.append(event)  # mutating method on a module-level list
+
+
+def set_mode(mode):
+    global _MODE
+    _MODE = mode  # runtime rebind via 'global'

@@ -1,0 +1,25 @@
+"""RPR006 silent fixture: the sanctioned shapes of mutable state."""
+
+#: Import-time-only population is fine (no function body writes it).
+_DEFAULTS = {"mode": "fast", "jobs": 1}
+
+#: Immutable module constants are not shared mutable state.
+SUPPORTED_MODES = ("fast", "slow")
+
+
+class Registry:
+    """State owned by an instance handed down explicitly."""
+
+    def __init__(self):
+        self._entries = {}
+
+    def register(self, name, value):
+        self._entries[name] = value
+
+
+def merge(overrides):
+    # Locals and parameters may be mutated freely.
+    merged = dict(_DEFAULTS)
+    merged.update(overrides)
+    overrides["seen"] = True
+    return merged

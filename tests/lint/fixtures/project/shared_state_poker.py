@@ -1,0 +1,7 @@
+"""RPR006 firing fixture: cross-module poke into another module's state."""
+
+import shared_state_bad
+
+
+def poke(name, value):
+    shared_state_bad._REGISTRY[name] = value

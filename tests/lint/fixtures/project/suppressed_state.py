@@ -1,0 +1,7 @@
+"""Inline-suppression fixture: project findings honor ignore comments."""
+
+_SWITCH = {"on": False}
+
+
+def flip(value):
+    _SWITCH["on"] = value  # repro-lint: ignore[RPR006] - deliberate toggle

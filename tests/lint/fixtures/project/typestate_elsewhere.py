@@ -1,0 +1,7 @@
+"""RPR008 scope fixture: violating sequences OUTSIDE hypervisor/policies
+paths are another subsystem's business — the rule must stay quiet."""
+
+
+def double_protect(p2m, gpfn):
+    p2m.write_protect(gpfn)
+    p2m.write_protect(gpfn)

@@ -103,3 +103,61 @@ class TestDestinationMatrixCache:
         second = run.destination_matrix(n)
         assert second[2] is not first[2]
         assert not second[2][0]
+
+
+class TestObservationInputsFrozen:
+    """Regression: one rho_c array is shared by every run's observation
+    in an epoch, and EpochRecord reads observation.imbalance after the
+    policy callback — policy code must not be able to mutate either."""
+
+    def test_observation_arrays_read_only(self):
+        a = fast_app(get_app("cg.C"), baseline_seconds=4.0)
+        b = fast_app(get_app("sp.C"), baseline_seconds=4.0)
+        world = LinuxEnvironment(policy="round-4k").setup([a, b])
+        captured = []
+        for run in world.runs:
+            original = run.build_observation
+
+            def spy(_orig=original, **kwargs):
+                captured.append(kwargs)
+                return _orig(**kwargs)
+
+            run.build_observation = spy
+        run_world(world, max_epochs=1)
+        assert len(captured) == 2
+        # The shared world-total rho_c and each run's own access matrix
+        # reach the policy frozen.
+        assert captured[0]["controller_rho"] is captured[1]["controller_rho"]
+        for kwargs in captured:
+            assert not kwargs["controller_rho"].flags.writeable
+            assert not kwargs["access_matrix"].flags.writeable
+            with pytest.raises(ValueError):
+                kwargs["access_matrix"][0, 0] = 1e9
+
+
+class TestDestinationMatrixFrozen:
+    """Regression: the memoized destination arrays are reused across
+    epochs; they must be frozen so one epoch's caller cannot skew the
+    next epoch's solver input (RPR009)."""
+
+    def _initialized_run(self):
+        app = fast_app(get_app("swaptions"), baseline_seconds=2.0)
+        world = LinuxEnvironment(policy="round-4k").setup([app])
+        run = world.runs[0]
+        run.initialize()
+        return run, world.machine.num_nodes
+
+    def test_cached_arrays_read_only(self):
+        run, n = self._initialized_run()
+        D, src, active = run.destination_matrix(n)
+        for arr in (D, src, active):
+            assert not arr.flags.writeable
+        with pytest.raises(ValueError):
+            D[0, 0] = 123.0
+
+    def test_recomputed_arrays_also_read_only(self):
+        run, n = self._initialized_run()
+        run.destination_matrix(n)
+        run.segments[0].placement.place(0, n - 1)
+        D, _, _ = run.destination_matrix(n)
+        assert not D.flags.writeable
