@@ -1,0 +1,25 @@
+"""Multi-host cluster scheduling and pre-copy live VM migration.
+
+Built on the Host abstraction (:mod:`repro.sim.host`): a
+:class:`Cluster` advances N hosts in lockstep on one simulated clock, a
+:class:`PlacementScheduler` scores hosts by available multi-NUMA space,
+and :class:`LiveMigration` moves a running VM between hosts with the
+paper's write-protect → copy → remap machinery.
+"""
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.migration import (
+    LiveMigration,
+    MigrationPlan,
+    MigrationStats,
+)
+from repro.cluster.placement import HostScore, PlacementScheduler
+
+__all__ = [
+    "Cluster",
+    "HostScore",
+    "LiveMigration",
+    "MigrationPlan",
+    "MigrationStats",
+    "PlacementScheduler",
+]

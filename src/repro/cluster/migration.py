@@ -1,0 +1,319 @@
+"""Pre-copy live VM migration between two hosts.
+
+The classic Xen protocol (Clark et al., adapted to this simulation),
+built entirely on machinery the repo already has:
+
+1. **Round 1** — the destination domain is created (its boot policy
+   re-runs NUMA placement on the destination, Mitosis-style), the
+   source's resident pages are write-protected in bulk
+   (``write_protect_many``) and their contents copied.
+2. **Dirty rounds** — the guest keeps writing; a write to a protected
+   page traps through the PR 5-hardened ``on_write_protected`` path into
+   this module's dirty logger, which records the page and unprotects it.
+   Each epoch the previous round's dirty set is re-protected and
+   re-copied.
+3. **Stop-and-copy** — once the dirty set converges below the threshold
+   (or the round budget expires) the source domain is paused, the final
+   dirty pages copied, leftover protections dropped
+   (``unprotect_many``), and the run re-homed onto the destination
+   (:meth:`XenEnvironment.complete_migration`), which re-runs the active
+   NUMA policy there and destroys the source domain.
+
+The runtime sanitizer polices every protocol step (a copy of an
+unprotected page cannot fault-dirty; double protects raise), and the
+RPR005 lint knows both the scalar and the ``_many`` spellings. All
+randomness — which pages the guest writes, on which vCPU — comes from
+the seeded generator handed in, so two identical runs produce
+byte-identical traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro import obs
+from repro.sim.host import Host
+from repro.sim.instance import AppRun
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.environment import XenEnvironment
+
+#: Seconds to transfer one simulated page over the migration link.
+PAGE_COPY_SECONDS = 2.0e-6
+#: Fixed cutover downtime (pause, final sync, activation hand-off).
+CUTOVER_SECONDS = 20e-3
+#: Dirty-set size at or below which the protocol cuts over.
+DEFAULT_DIRTY_THRESHOLD = 64
+#: Maximum pre-copy rounds before a forced cutover.
+DEFAULT_ROUND_BUDGET = 8
+#: Guest write operations simulated per epoch while migrating.
+DEFAULT_WRITES_PER_EPOCH = 256
+
+
+@dataclass
+class MigrationStats:
+    """Outcome of one live migration.
+
+    Attributes:
+        rounds: pre-copy rounds executed (round 1 included).
+        pages_copied: total page copies over all rounds + cutover.
+        dirty_faults: write-protection faults taken by the guest.
+        cutover_pages: pages copied inside the stop-and-copy window.
+        converged: True when the dirty set shrank below the threshold
+            (False = the round budget forced the cutover).
+        downtime_seconds: simulated stop-and-copy cost charged.
+    """
+
+    rounds: int = 0
+    pages_copied: int = 0
+    dirty_faults: int = 0
+    cutover_pages: int = 0
+    converged: bool = False
+    downtime_seconds: float = 0.0
+
+    def as_metrics(self) -> dict:
+        """Flat float dict merged into the run's result stats."""
+        return {
+            "migration.rounds": float(self.rounds),
+            "migration.pages_copied": float(self.pages_copied),
+            "migration.dirty_faults": float(self.dirty_faults),
+            "migration.cutover_pages": float(self.cutover_pages),
+            "migration.converged": 1.0 if self.converged else 0.0,
+            "migration.downtime_seconds": float(self.downtime_seconds),
+        }
+
+
+@dataclass
+class MigrationPlan:
+    """A migration scheduled for a future epoch (cluster bookkeeping)."""
+
+    epoch: int
+    app_name: str
+    dest_host_id: Optional[int] = None
+    knobs: dict = field(default_factory=dict)
+
+
+class LiveMigration:
+    """One in-flight pre-copy migration of ``run`` between two hosts.
+
+    Args:
+        environment: the :class:`XenEnvironment` that built the run (it
+            owns domain cloning and the post-cutover re-homing).
+        run: the application run being moved.
+        source_host / dest_host: where from, where to.
+        rng: seeded generator for the simulated guest write stream.
+        round_budget: max pre-copy rounds before forcing cutover.
+        dirty_threshold: dirty-set size that triggers cutover.
+        writes_per_epoch: guest writes simulated per migrating epoch.
+    """
+
+    def __init__(
+        self,
+        environment: "XenEnvironment",
+        run: AppRun,
+        source_host: Host,
+        dest_host: Host,
+        rng: np.random.Generator,
+        round_budget: int = DEFAULT_ROUND_BUDGET,
+        dirty_threshold: int = DEFAULT_DIRTY_THRESHOLD,
+        writes_per_epoch: int = DEFAULT_WRITES_PER_EPOCH,
+    ):
+        self.environment = environment
+        self.run = run
+        self.source_host = source_host
+        self.dest_host = dest_host
+        self.rng = rng
+        self.round_budget = max(1, round_budget)
+        self.dirty_threshold = max(0, dirty_threshold)
+        self.writes_per_epoch = writes_per_epoch
+        self.phase = "pending"
+        self.stats = MigrationStats()
+        self.dest_domain = None
+        self._resident: Optional[np.ndarray] = None
+        self._pending: Optional[np.ndarray] = None
+        self._dirty: List[int] = []
+        self._next_stamp = 1
+        reg = obs.registry()
+        labels = {"app": run.app.name, "dest": dest_host.host_id}
+        self._copied_cell = reg.counter("migration.pages_copied", **labels)
+        self._dirty_cell = reg.counter("migration.dirty_faults", **labels)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        return self.phase in ("pending", "precopy")
+
+    @property
+    def source_domain(self):
+        return self.run.context.domain
+
+    def begin(self) -> None:
+        """Clone the destination domain and arm dirty logging."""
+        assert self.phase == "pending"
+        self.dest_domain = self.environment.clone_domain_on(
+            self.dest_host, self.run
+        )
+        source = self.source_domain
+        self._resident = source.p2m.valid_gpfns()
+        self._pending = self._resident
+        self.source_host.hypervisor.set_write_fault_handler(
+            source, self._on_dirty
+        )
+        self.phase = "precopy"
+        tracer = obs.tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "migration.begin",
+                cat="cluster",
+                app=self.run.app.name,
+                source=self.source_host.host_id,
+                dest=self.dest_host.host_id,
+                resident_pages=int(self._resident.size),
+            )
+
+    def on_epoch(self, epoch: int, epoch_seconds: float) -> None:
+        """Run one pre-copy round (or the cutover) for this epoch."""
+        if self.phase != "precopy":
+            return
+        source = self.source_domain
+        p2m = source.p2m
+        # Entries churned away since the last round no longer exist to
+        # protect; their content is gone with them.
+        pending = self._pending
+        pending = pending[p2m.mfns_if_valid(pending) >= 0]
+        p2m.write_protect_many(pending)
+        self.dest_domain.copy_stamps_from(source, pending)
+        copied = int(pending.size)
+        self.stats.pages_copied += copied
+        self.stats.rounds += 1
+        self._copied_cell.value += copied
+        self.run.pending_policy_cost += copied * PAGE_COPY_SECONDS
+
+        # The guest's write stream during the copy: writes landing on a
+        # protected page trap into _on_dirty, which logs and unprotects.
+        self._dirty = []
+        self._write_traffic()
+        dirty = np.asarray(self._dirty, dtype=np.int64)
+
+        tracer = obs.tracer()
+        if tracer.enabled:
+            tracer.span(
+                "migration.round",
+                epoch_seconds,
+                cat="cluster",
+                app=self.run.app.name,
+                round=self.stats.rounds,
+                copied_pages=copied,
+                dirty_pages=int(dirty.size),
+            )
+        if (
+            dirty.size <= self.dirty_threshold
+            or self.stats.rounds >= self.round_budget
+        ):
+            self.stats.converged = dirty.size <= self.dirty_threshold
+            self._cutover(dirty, epoch_seconds)
+        else:
+            self._pending = dirty
+
+    def abort(self) -> None:
+        """Abandon the migration, restoring the source untouched.
+
+        Called when the run completes before the protocol does: leftover
+        protections are dropped, dirty logging disarmed, and the
+        half-built destination domain destroyed.
+        """
+        if not self.active:
+            return
+        if self.phase == "precopy":
+            source = self.source_domain
+            self._release_protections(source.p2m)
+            self.source_host.hypervisor.clear_write_fault_handler(source)
+        if self.dest_domain is not None:
+            self.dest_host.hypervisor.destroy_domain(self.dest_domain)
+            self.dest_domain = None
+        self.phase = "aborted"
+
+    # ------------------------------------------------------------------
+
+    def _on_dirty(self, gpfn: int) -> None:
+        """Write-protection fault handler: log the page, let the write in."""
+        self._dirty.append(int(gpfn))
+        self.stats.dirty_faults += 1
+        self._dirty_cell.inc()
+        self.source_domain.p2m.unprotect(gpfn)
+
+    def _write_traffic(self) -> None:
+        """Simulate the guest's writes for one migrating epoch.
+
+        Pages are drawn (seeded) from the run's currently touched keys,
+        so every write targets a valid p2m entry — the only faults this
+        can take are the write-protection faults the protocol is there
+        to catch.
+        """
+        run = self.run
+        touched = [
+            segment.keys[segment.keys >= 0] for segment in run.segments
+        ]
+        keys = (
+            np.concatenate(touched) if touched else np.empty(0, np.int64)
+        )
+        if keys.size == 0:
+            return
+        hypervisor = self.source_host.hypervisor
+        domain = self.source_domain
+        num_vcpus = domain.num_vcpus
+        picks = self.rng.integers(0, keys.size, size=self.writes_per_epoch)
+        vcpus = self.rng.integers(0, num_vcpus, size=self.writes_per_epoch)
+        for key_idx, vcpu_id in zip(picks.tolist(), vcpus.tolist()):
+            hypervisor.guest_write(
+                domain, int(vcpu_id), int(keys[key_idx]), self._next_stamp
+            )
+            self._next_stamp += 1
+
+    def _release_protections(self, p2m) -> None:
+        """Unprotect every still-protected page of the resident set."""
+        resident = self._resident
+        if resident is None or resident.size == 0:
+            return
+        still_valid = p2m.mfns_if_valid(resident) >= 0
+        protected = still_valid & ~p2m.writable_mask(resident)
+        p2m.unprotect_many(resident[protected])
+
+    def _cutover(self, dirty: np.ndarray, epoch_seconds: float) -> None:
+        """Stop-and-copy: pause, final copy, re-home, destroy source."""
+        source = self.source_domain
+        source_hv = self.source_host.hypervisor
+        source_hv.pause_domain(source)
+        self.dest_domain.copy_stamps_from(source, dirty)
+        self.stats.cutover_pages = int(dirty.size)
+        self.stats.pages_copied += int(dirty.size)
+        self._copied_cell.value += int(dirty.size)
+        self._release_protections(source.p2m)
+        source_hv.clear_write_fault_handler(source)
+        downtime = dirty.size * PAGE_COPY_SECONDS + CUTOVER_SECONDS
+        self.stats.downtime_seconds = downtime
+        self.run.pending_policy_cost += downtime
+        # Re-home the run: rebinds context/patch/tracker, re-runs the
+        # policy selection on the destination, re-pins threads, resyncs
+        # placements, destroys the source domain (freeing its frames).
+        self.environment.complete_migration(
+            self.run, self.dest_host, self.dest_domain
+        )
+        self.phase = "complete"
+        tracer = obs.tracer()
+        if tracer.enabled:
+            tracer.span(
+                "migration.cutover",
+                downtime,
+                cat="cluster",
+                app=self.run.app.name,
+                source=self.source_host.host_id,
+                dest=self.dest_host.host_id,
+                cutover_pages=int(dirty.size),
+                rounds=self.stats.rounds,
+                converged=self.stats.converged,
+            )

@@ -1,0 +1,179 @@
+"""Cluster placement: score hosts by available multi-NUMA space.
+
+Which host should admit the next VM? Following Gudkov et al.'s
+multi-NUMA available-space argument (PAPERS.md), a host's capacity for a
+VM is not its total free memory but the free memory of the *node set*
+the VM would actually occupy — a 48-core VM on a 8-node host needs all
+eight nodes roomy, a 6-vCPU VM needs one. The scheduler therefore scores
+each host by the free frames of the top-k nodes the VM needs, discounted
+by the memory congestion the host's existing tenants already project
+(computed with the engine's own :class:`CongestionSolver` so the
+estimate and the simulation agree about the hardware).
+
+Tie-breaks draw from the seeded stream passed in — never from unseeded
+randomness — so placement is reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import OutOfMemoryError
+from repro.sim.engine import CongestionSolver
+from repro.sim.host import Host
+
+#: Projected accesses per second a busy physical CPU contributes to its
+#: local memory controller when estimating a host's standing congestion.
+#: Deliberately coarse — the score only needs ordering, not accuracy.
+PROJECTED_ACCESSES_PER_CPU = 2e7
+
+
+@dataclass(frozen=True)
+class HostScore:
+    """One host's placement score for one VM request.
+
+    Attributes:
+        host_id: the scored host.
+        admissible: whether the top-k node set can hold the VM at all.
+        nodes_needed: size of the node set the VM would occupy.
+        space_pages: free frames summed over the top-k nodes.
+        congestion_factor: 1 + mean projected controller utilisation.
+        score: ``space_pages / congestion_factor`` (``-inf`` when not
+            admissible) — more multi-NUMA headroom is better, a loaded
+            memory system is worse.
+    """
+
+    host_id: int
+    admissible: bool
+    nodes_needed: int
+    space_pages: int
+    congestion_factor: float
+    score: float
+
+
+class PlacementScheduler:
+    """Scores candidate hosts and picks where a VM (or migration) lands.
+
+    Args:
+        rng: seeded generator used *only* for tie-breaks between hosts
+            with equal scores (e.g. two identical empty hosts).
+    """
+
+    def __init__(self, rng: np.random.Generator):
+        self.rng = rng
+        self._solvers: Dict[int, CongestionSolver] = {}
+
+    # ------------------------------------------------------------------
+
+    def score_host(
+        self,
+        host: Host,
+        num_vcpus: int,
+        memory_pages: int,
+        reserved_pages: int = 0,
+    ) -> HostScore:
+        """Score one host for a VM of ``num_vcpus`` / ``memory_pages``.
+
+        ``reserved_pages`` discounts placements already decided but not
+        yet materialised (the deploy loop scores VMs one at a time).
+        """
+        machine = host.machine
+        topo = machine.topology
+        free = np.asarray(host.free_frames_by_node(), dtype=np.int64)
+        if reserved_pages > 0:
+            # Spread the reservation like the allocator would: evenly
+            # over the roomiest nodes.
+            free = free - reserved_pages // max(1, machine.num_nodes)
+            free = np.maximum(free, 0)
+        vcpus = num_vcpus if num_vcpus else machine.num_cpus
+        nodes_needed = max(1, math.ceil(vcpus / topo.cpus_per_node))
+        top = np.sort(free)[::-1]
+        # Grow the node set past the vCPU-driven minimum until the
+        # memory fits (a small VM with a huge footprint still needs
+        # several nodes' frames).
+        while (
+            nodes_needed < machine.num_nodes
+            and int(top[:nodes_needed].sum()) < memory_pages
+        ):
+            nodes_needed += 1
+        space = int(top[:nodes_needed].sum())
+        admissible = space >= memory_pages
+        congestion = self._projected_congestion(host)
+        score = space / congestion if admissible else float("-inf")
+        return HostScore(
+            host_id=host.host_id,
+            admissible=admissible,
+            nodes_needed=nodes_needed,
+            space_pages=space,
+            congestion_factor=congestion,
+            score=score,
+        )
+
+    def choose_host(
+        self,
+        hosts: Sequence[Host],
+        num_vcpus: int,
+        memory_pages: int,
+        reserved: Optional[Dict[int, int]] = None,
+        exclude: Sequence[int] = (),
+    ) -> Host:
+        """The best host for the VM; seeded tie-break between equals.
+
+        Raises :class:`OutOfMemoryError` when no candidate can admit it.
+        """
+        reserved = reserved or {}
+        excluded = set(exclude)
+        scores: List[HostScore] = []
+        candidates: List[Host] = []
+        for host in hosts:
+            if host.host_id in excluded:
+                continue
+            candidates.append(host)
+            scores.append(
+                self.score_host(
+                    host,
+                    num_vcpus,
+                    memory_pages,
+                    reserved_pages=reserved.get(host.host_id, 0),
+                )
+            )
+        best = max((s.score for s in scores), default=float("-inf"))
+        if best == float("-inf"):
+            raise OutOfMemoryError(
+                f"no host can admit a VM of {memory_pages} pages "
+                f"({len(candidates)} candidates)"
+            )
+        tied = [
+            host
+            for host, s in zip(candidates, scores)
+            if s.score == best
+        ]
+        if len(tied) == 1:
+            return tied[0]
+        return tied[int(self.rng.integers(len(tied)))]
+
+    # ------------------------------------------------------------------
+
+    def _projected_congestion(self, host: Host) -> float:
+        """1 + mean controller utilisation the current tenants project.
+
+        Each occupied pCPU is assumed to stream a nominal access rate at
+        its local node; the engine's solver turns that into controller
+        utilisations exactly as the simulation would.
+        """
+        machine = host.machine
+        solver = self._solvers.get(host.host_id)
+        if solver is None or solver.machine is not machine:
+            solver = CongestionSolver(machine)
+            self._solvers[host.host_id] = solver
+        n = machine.num_nodes
+        busy = np.zeros(n)
+        for pcpu in host.hypervisor.scheduler.occupied_pcpus():
+            busy[machine.topology.node_of_cpu(pcpu)] += 1.0
+        matrix = np.diag(busy * PROJECTED_ACCESSES_PER_CPU)
+        rho_c, _ = solver.congestion(matrix, 1.0)
+        return 1.0 + float(rho_c.mean())

@@ -10,7 +10,9 @@ the old path and how the parity tests drive both sides.
 
 Vectorization is on by default; it is an implementation detail, not a
 modelling knob, which is why it lives here rather than on ``SimConfig``
-(it must never reach a cache key).
+(it must never reach a cache key). The switch lives on a module-level
+holder object (not a rebound module global), so flipping it is an
+attribute write the dataflow lint can see is confined to one object.
 """
 
 from __future__ import annotations
@@ -18,24 +20,33 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator
 
-_VECTORIZED = True
+
+class _BatchMode:
+    """Holds the process-wide fast-path switch."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = True
+
+
+_MODE = _BatchMode()
 
 
 def vectorized() -> bool:
     """True when batch entry points may take the NumPy fast path."""
-    return _VECTORIZED
+    return _MODE.enabled
 
 
 def set_vectorized(on: bool) -> None:
     """Flip the fast path globally (the oracle turns it off)."""
-    global _VECTORIZED
-    _VECTORIZED = bool(on)
+    _MODE.enabled = bool(on)
 
 
 @contextmanager
 def scalar_mode() -> Iterator[None]:
     """Run a block with the vectorized page path disabled."""
-    previous = _VECTORIZED
+    previous = _MODE.enabled
     set_vectorized(False)
     try:
         yield

@@ -24,6 +24,7 @@ from repro.config import SimConfig
 from repro.errors import ReproError
 from repro.experiments import (
     batching,
+    cluster_migration,
     common,
     fig1,
     fig2,
@@ -58,6 +59,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "fig9": fig9.run,
     "fig10": fig10.run,
     "batching": batching.run,
+    "cluster_migration": cluster_migration.run,
 }
 
 USAGE = """\

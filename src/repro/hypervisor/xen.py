@@ -24,7 +24,7 @@ from repro.config import SimConfig
 from repro.core.interface import InternalInterface
 from repro.core.policies.base import PolicyName, PolicySpec
 from repro.core.policy_manager import PolicyManager
-from repro.errors import PolicyError
+from repro.errors import DomainError, P2MError, PolicyError
 from repro.hardware.machine import Machine
 from repro.hypervisor.allocator import XenHeapAllocator, choose_home_nodes
 from repro.hypervisor.domain import Domain
@@ -89,6 +89,11 @@ class Hypervisor:
         self.ipi = IpiModel()
         self.domains: Dict[int, Domain] = {}
         self._next_domid = 1
+        #: Per-domain write-protection fault handlers. Live migration
+        #: registers its dirty logger here; the handler is invoked (with
+        #: the faulting gpfn) after the fault is accounted, and is
+        #: expected to unprotect the entry so the write can complete.
+        self._wp_handlers: Dict[int, object] = {}
         self.sanitizer: Optional[p2m_sanitizer.P2MSanitizer] = None
         if machine.config.sanitize_p2m or p2m_sanitizer.is_enabled():
             self.sanitizer = p2m_sanitizer.P2MSanitizer()
@@ -229,6 +234,63 @@ class Hypervisor:
         """NUMA node currently hosting a vCPU."""
         pcpu = self.scheduler.pcpu_of(domain.vcpus[vcpu_id])
         return self.machine.topology.node_of_cpu(pcpu)
+
+    # ------------------------------------------------------------------
+    # Write path and migration plumbing
+
+    def pause_domain(self, domain: Domain) -> None:
+        """Freeze the domain's vCPUs (stop-and-copy window)."""
+        domain.paused = True
+
+    def resume_domain(self, domain: Domain) -> None:
+        """Let the domain's vCPUs run again."""
+        domain.paused = False
+
+    def set_write_fault_handler(self, domain: Domain, handler) -> None:
+        """Route the domain's write-protection faults to ``handler(gpfn)``.
+
+        Live migration's dirty logger: called after the fault is
+        accounted through :meth:`FaultHandler.on_write_protected`; the
+        handler must restore writability (``unprotect``) so the guest's
+        write completes — the page is thereby *dirty* for the next round.
+        """
+        self._wp_handlers[domain.domain_id] = handler
+
+    def clear_write_fault_handler(self, domain: Domain) -> None:
+        self._wp_handlers.pop(domain.domain_id, None)
+
+    def guest_write(
+        self, domain: Domain, vcpu_id: int, gpfn: int, stamp: int
+    ) -> int:
+        """Resolve one guest memory *write*; returns the backing mfn.
+
+        Like :meth:`guest_access` plus the content model: the page's
+        write stamp is updated. A write to a write-protected entry traps
+        — the fault is accounted and handed to the domain's registered
+        write-fault handler, which logs the page dirty and unprotects it.
+        """
+        if domain.paused:
+            raise DomainError(
+                f"domain {domain.domain_id} is paused; its vCPUs cannot write"
+            )
+        mfn = self.guest_access(domain, vcpu_id, gpfn)
+        if not domain.p2m.is_writable(gpfn):
+            self.fault_handler.on_write_protected(domain, gpfn)
+            handler = self._wp_handlers.get(domain.domain_id)
+            if handler is None:
+                raise P2MError(
+                    f"write fault on domain {domain.domain_id} gpfn "
+                    f"{gpfn:#x} with no write-fault handler registered"
+                )
+            handler(gpfn)
+            if not domain.p2m.is_writable(gpfn):
+                raise P2MError(
+                    f"write-fault handler left domain {domain.domain_id} "
+                    f"gpfn {gpfn:#x} write-protected; the guest write "
+                    f"cannot complete"
+                )
+        domain.write_stamp(gpfn, stamp)
+        return mfn
 
     # ------------------------------------------------------------------
     # Internals

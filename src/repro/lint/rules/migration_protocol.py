@@ -19,11 +19,11 @@ from repro.lint.visitor import FileContext, Rule
 
 FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
 
-#: Calls that start the protocol.
-PROTECT_CALLS = frozenset({"write_protect"})
+#: Calls that start the protocol (scalar and batch spellings).
+PROTECT_CALLS = frozenset({"write_protect", "write_protect_many"})
 
-#: Calls that end write-protection.
-UNPROTECT_CALLS = frozenset({"unprotect"})
+#: Calls that end write-protection (scalar and batch spellings).
+UNPROTECT_CALLS = frozenset({"unprotect", "unprotect_many"})
 
 #: Calls that must only run while the page is write-protected.
 GUARDED_CALLS = frozenset({"remap", "copy_page", "copy_frame"})

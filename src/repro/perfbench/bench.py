@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.config import SimConfig
 from repro.hardware.presets import amd48
+from repro.hypervisor.domain import Domain
 from repro.perfbench import oracle
 from repro.perfbench.worlds import WORLD_PRESETS, build_world
 from repro.sim.engine import CongestionSolver, run_world
@@ -32,6 +33,12 @@ DEFAULT_SOLVER_ITERATIONS = 200
 #: Mean access-matrix entry of the microbenchmark (accesses per epoch
 #: between one node pair — enough to load controllers and links).
 MICROBENCH_TRAFFIC = 3e7
+#: Resident pages of the migration microbench's source domain.
+DEFAULT_MIGRATION_PAGES = 4096
+#: Pre-copy rounds per migration sample (round 1 + dirty rounds).
+DEFAULT_MIGRATION_ROUNDS = 8
+#: Dirty pages re-copied in every round after the first.
+DEFAULT_MIGRATION_DIRTY_PAGES = 512
 
 
 def _spread(samples: List[float]) -> Dict[str, float]:
@@ -157,6 +164,89 @@ def bench_page_path(
     }
 
 
+def bench_migration(
+    config: SimConfig,
+    repeat: int = DEFAULT_REPEAT,
+    pages: int = DEFAULT_MIGRATION_PAGES,
+    rounds: int = DEFAULT_MIGRATION_ROUNDS,
+    dirty_pages: int = DEFAULT_MIGRATION_DIRTY_PAGES,
+) -> Dict[str, float]:
+    """Batched vs scalar dirty-round copy (the live-migration data mover).
+
+    One sample replays a full pre-copy transfer: round 1 protects and
+    copies every resident page, each later round re-copies a seeded
+    dirty set, and every round releases its protections afterwards —
+    the ``write_protect_many`` / ``copy_stamps_from`` /
+    ``unprotect_many`` sequence :class:`repro.cluster.LiveMigration`
+    issues per epoch. The scalar variant spells identical rounds as
+    per-page protect / one-page stamp copy / unprotect loops. Each
+    variant transfers into its own destination domain and the two
+    images must come out identical. Domains are built bare (no
+    hypervisor, no sanitizer) so the batch entry points stay on their
+    vectorized paths.
+    """
+
+    def build_domain(domain_id: int, name: str) -> Domain:
+        return Domain(
+            domain_id=domain_id,
+            name=name,
+            num_vcpus=1,
+            memory_pages=pages,
+            home_nodes=(0,),
+        )
+
+    source = build_domain(1, "bench-migration-src")
+    gpfns = np.arange(pages, dtype=np.int64)
+    source.p2m.set_entries(gpfns, gpfns)
+    for gpfn in gpfns.tolist():
+        source.write_stamp(gpfn, gpfn + 1)
+    rng = np.random.default_rng(config.rng_seed)
+    dirty = min(dirty_pages, pages)
+    round_sets: List[np.ndarray] = [gpfns] + [
+        np.sort(rng.choice(pages, size=dirty, replace=False)).astype(np.int64)
+        for _ in range(max(0, rounds - 1))
+    ]
+    dest_batched = build_domain(2, "bench-migration-dst-batched")
+    dest_scalar = build_domain(3, "bench-migration-dst-scalar")
+    p2m = source.p2m
+
+    def batched() -> None:
+        for pending in round_sets:
+            p2m.write_protect_many(pending)
+            dest_batched.copy_stamps_from(source, pending)
+            p2m.unprotect_many(pending)
+
+    def scalar() -> None:
+        for pending in round_sets:
+            for gpfn in pending.tolist():
+                p2m.write_protect(gpfn)
+                dest_scalar.write_stamp(
+                    gpfn, int(source.read_stamps([gpfn])[0])
+                )
+                p2m.unprotect(gpfn)
+
+    batched_s = min(
+        timeit.Timer(batched).repeat(repeat=max(1, repeat), number=1)
+    )
+    scalar_s = min(
+        timeit.Timer(scalar).repeat(repeat=max(1, repeat), number=1)
+    )
+    return {
+        "pages": float(pages),
+        "rounds": float(len(round_sets)),
+        "dirty_pages": float(dirty),
+        "pages_per_transfer": float(sum(s.size for s in round_sets)),
+        "batched_seconds": batched_s,
+        "scalar_seconds": scalar_s,
+        "speedup": scalar_s / batched_s if batched_s else float("inf"),
+        "results_match": float(
+            np.array_equal(
+                dest_batched.image_snapshot(), dest_scalar.image_snapshot()
+            )
+        ),
+    }
+
+
 def run_benchmarks(
     label: str,
     config: Optional[SimConfig] = None,
@@ -165,6 +255,7 @@ def run_benchmarks(
     solver_iterations: int = DEFAULT_SOLVER_ITERATIONS,
     page_path: bool = True,
     page_path_repeat: int = DEFAULT_PAGE_PATH_REPEAT,
+    migration: bool = True,
 ) -> Dict[str, object]:
     """Run the full suite; returns the ``BENCH_<label>.json`` payload."""
     config = config or SimConfig()
@@ -183,4 +274,6 @@ def run_benchmarks(
     }
     if page_path:
         payload["page_path"] = bench_page_path(config, repeat=page_path_repeat)
+    if migration:
+        payload["migration"] = bench_migration(config, repeat=repeat)
     return payload

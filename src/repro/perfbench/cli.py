@@ -68,6 +68,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip the page-path (array vs dict/loop p2m) comparison",
     )
     parser.add_argument(
+        "--no-migration",
+        action="store_true",
+        help="skip the migration (batched vs scalar dirty-round copy) "
+        "comparison",
+    )
+    parser.add_argument(
         "--page-path-repeat",
         type=int,
         default=DEFAULT_PAGE_PATH_REPEAT,
@@ -127,6 +133,16 @@ def _print_report(payload: dict, out) -> None:
             f"{page_path['speedup']:.1f}x (epochs {match})",
             file=out,
         )
+    migration = payload.get("migration")
+    if migration:
+        match = "ok" if migration["results_match"] else "MISMATCH"
+        print(
+            f"  migration: batched {migration['batched_seconds']:.4f}s vs "
+            f"scalar {migration['scalar_seconds']:.4f}s over "
+            f"{migration['pages_per_transfer']:.0f} page copies -> "
+            f"{migration['speedup']:.1f}x (images {match})",
+            file=out,
+        )
 
 
 def _print_delta(payload: dict, baseline: dict, out) -> None:
@@ -151,6 +167,14 @@ def _print_delta(payload: dict, baseline: dict, out) -> None:
             f"(baseline {ref_micro['speedup']:.1f}x)",
             file=out,
         )
+    ref_migration = baseline.get("migration")
+    migration = payload.get("migration")
+    if ref_migration and migration:
+        print(
+            f"  migration: speedup {migration['speedup']:.1f}x "
+            f"(baseline {ref_migration['speedup']:.1f}x)",
+            file=out,
+        )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -168,6 +192,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             solver_iterations=args.solver_iterations,
             page_path=not args.no_page_path,
             page_path_repeat=args.page_path_repeat,
+            migration=not args.no_migration,
         )
     if obs_session is not None:
         obs_session.write_trace(args.trace)

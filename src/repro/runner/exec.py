@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.cluster import Cluster
 from repro.core.policies.base import PolicyName, PolicySpec
 from repro.hypervisor.xen import XEN, XEN_PLUS
 from repro.sim.engine import run_apps
@@ -19,6 +20,13 @@ from repro.sim.environment import LinuxEnvironment, VmSpec, XenEnvironment
 from repro.sim.results import RunResult
 from repro.sim.runspec import RunRequest, VmRequest
 from repro.workloads.suite import get_app
+
+#: The ``cluster`` environment is deliberately not parameterised through
+#: the request (new request fields change every cache key): it always
+#: boots this many hosts and live-migrates the request's first VM at
+#: this epoch, with the protocol's default knobs.
+CLUSTER_HOSTS = 2
+CLUSTER_MIGRATION_EPOCH = 3
 
 
 def _vm_spec(vm: VmRequest) -> VmSpec:
@@ -49,4 +57,11 @@ def execute_request(request: RunRequest) -> List[RunResult]:
         config=request.config,
         unbatched_hypercalls=request.unbatched_hypercalls,
     )
+    if request.environment == "cluster":
+        # Results come back grouped by host (ascending id), each labelled
+        # with the world the run finished on — not in request order.
+        cluster = Cluster(env, CLUSTER_HOSTS)
+        cluster.deploy([_vm_spec(vm) for vm in request.vms])
+        cluster.migrate_at(CLUSTER_MIGRATION_EPOCH, request.vms[0].app)
+        return cluster.simulate()
     return run_apps(env, [_vm_spec(vm) for vm in request.vms])

@@ -177,55 +177,98 @@ def _per_run_matrix(
     return matrix
 
 
-def run_world(
-    world: World,
-    max_epochs: int = DEFAULT_MAX_EPOCHS,
-    solver_epsilon: Optional[float] = SOLVER_EPSILON,
-) -> List[RunResult]:
-    """Simulate a world to completion; returns one result per app run.
+class EpochStepper:
+    """Per-world engine state, advanced one epoch at a time.
 
-    Args:
-        max_epochs: epoch cap; runs still unfinished at the cap are marked
-            truncated (per run — two runs of the same application are
-            tracked independently).
-        solver_epsilon: early-exit threshold for the per-epoch fixed-point
-            solve (see :data:`SOLVER_EPSILON`). ``None`` disables the
-            early exit and always runs all :data:`SOLVER_ITERATIONS`.
+    The engine loop used to live entirely inside :func:`run_world`, with
+    the machine, solver and latency state as locals — which made a world
+    an implicit singleton of its invocation. The stepper holds exactly
+    that state per *instance*, so several worlds (one per cluster host)
+    can advance in lockstep on one shared simulated clock while
+    :func:`run_world` stays the single-host driver with bit-identical
+    results.
+
+    Usage: construct, :meth:`initialize`, then call :meth:`step` with the
+    current simulated time until it returns False (no active runs) or an
+    external epoch cap is reached, and collect results via :meth:`finish`.
     """
-    machine = world.machine
-    solver = CongestionSolver(machine)
-    n = machine.num_nodes
-    epoch_seconds = world.epoch_seconds
 
-    # Observability: metric cells registered with the active session (no
-    # session: cells are created but never collected) and trace emission
-    # guarded by one boolean so the disabled path costs nothing. All
-    # trace timestamps come from the simulated clock `now` — never the
-    # wall clock — so identical requests yield byte-identical traces.
-    reg = obs.registry()
-    tracer = obs.tracer()
-    trace_on = tracer.enabled
-    if reg.enabled:
-        epoch_cells = (
-            reg.counter("engine.epochs", world=world.label),
-            reg.histogram("engine.solver_iterations", world=world.label),
+    def __init__(
+        self,
+        world: World,
+        solver_epsilon: Optional[float] = SOLVER_EPSILON,
+    ):
+        self.world = world
+        self.machine = world.machine
+        self.solver = CongestionSolver(self.machine)
+        self.num_nodes = self.machine.num_nodes
+        self.epoch_seconds = world.epoch_seconds
+        self.solver_epsilon = solver_epsilon
+        # Observability: metric cells registered with the active session
+        # (no session: cells are created but never collected) and trace
+        # emission guarded by one boolean so the disabled path costs
+        # nothing. All trace timestamps come from the simulated clock —
+        # never the wall clock — so identical requests yield
+        # byte-identical traces.
+        reg = obs.registry()
+        self.tracer = obs.tracer()
+        self._trace_on = self.tracer.enabled
+        if reg.enabled:
+            self._epoch_cells = (
+                reg.counter("engine.epochs", world=world.label),
+                reg.histogram("engine.solver_iterations", world=world.label),
+            )
+        else:
+            self._epoch_cells = None
+        self.epoch = 0
+        self._latm: Optional[np.ndarray] = None
+
+    def initialize(self) -> None:
+        """First-touch every run's pages and seed the idle latency matrix."""
+        for run in self.world.runs:
+            run.initialize()
+        self._latm = self.solver.latency_matrix(
+            np.zeros(self.num_nodes), np.zeros(len(self.solver.link_bw))
         )
-    else:
-        epoch_cells = None
 
-    for run in world.runs:
-        run.initialize()
+    def has_active_runs(self) -> bool:
+        """Whether any run still needs epochs (migrations can add some)."""
+        return any(not r.finished for r in self.world.runs)
 
-    latm = solver.latency_matrix(np.zeros(n), np.zeros(len(solver.link_bw)))
-    now = 0.0
-    epoch = 0
-    while epoch < max_epochs:
+    def idle_step(self, now: float) -> None:
+        """Advance the clock on a world with nothing to run.
+
+        Cluster lockstep uses this to keep an evacuated (or not yet
+        populated) host's epoch counter aligned with its peers, so a run
+        migrating onto it continues with coherent epoch numbering.
+        """
+        self.machine.end_epoch()
+        self.epoch += 1
+
+    def step(self, now: float) -> bool:
+        """Simulate one epoch starting at ``now``.
+
+        Returns False — without consuming an epoch — when no run is
+        active (the single-host loop breaks; a cluster may instead keep
+        the host idling). The caller advances its clock by
+        :attr:`epoch_seconds` after every True return.
+        """
+        world = self.world
+        machine = self.machine
+        solver = self.solver
+        n = self.num_nodes
+        epoch_seconds = self.epoch_seconds
+        tracer = self.tracer
+        trace_on = self._trace_on
+        epoch = self.epoch
+        latm = self._latm
+
         tracer.set_time(now)
         for hook in world.epoch_hooks.get(epoch, ()):
             hook(world)
         active_runs = [r for r in world.runs if not r.finished]
         if not active_runs:
-            break
+            return False
         # ---- fixed point: rates vs congestion
         # Placement is frozen while the solver iterates, so each run's
         # destination matrix is fetched once per epoch (and cached by the
@@ -251,11 +294,12 @@ def run_world(
             delta = float(np.abs(new_latm - latm).max()) if latm.size else 0.0
             latm = new_latm
             iterations += 1
-            if solver_epsilon is not None and delta <= solver_epsilon:
+            if self.solver_epsilon is not None and delta <= self.solver_epsilon:
                 break
-        if epoch_cells is not None:
-            epoch_cells[0].inc()
-            epoch_cells[1].observe(iterations)
+        self._latm = latm
+        if self._epoch_cells is not None:
+            self._epoch_cells[0].inc()
+            self._epoch_cells[1].observe(iterations)
         if trace_on:
             tracer.span(
                 "epoch.solve",
@@ -325,57 +369,89 @@ def run_world(
             run.churn_step()
         machine.record_node_traffic(total)
         machine.end_epoch()
-        now += epoch_seconds
-        epoch += 1
+        self.epoch = epoch + 1
+        return True
 
-    results: List[RunResult] = []
-    tracer.set_time(now)
-    for run in world.runs:
-        # Truncation is per run identity, not per application name: the
-        # paper's 2-VM setups run the same app twice, and one VM timing
-        # out must not mark its twin truncated.
-        run_truncated = not run.finished
-        if run.finished:
-            finish = max(t.finish_time for t in run.threads)
-        else:
-            finish = now
-        completion = run.init_seconds + finish
-        stats = {
-            "init_seconds": run.init_seconds,
-            "truncated": 1.0 if run_truncated else 0.0,
-            "sync_fraction": run.context.sync_fraction,
-            "churn_slowdown": run.context.churn_slowdown,
-            "io_seconds_per_op": run.context.io_seconds_per_op,
-        }
-        # The transient observability snapshot of the run's context
-        # (fault/queue/p2m/policy counters). Excluded from equality and
-        # serialization, so stored results and reports are unchanged.
-        snapshot = getattr(run.context, "metrics_snapshot", None)
-        metrics = snapshot() if snapshot is not None else {}
-        if trace_on:
-            tracer.instant(
-                "run.result",
-                cat="engine",
-                app=run.app.name,
-                policy=run.context.policy_label,
-                completion_seconds=completion,
-                epochs=epoch,
-                truncated=run_truncated,
+    def finish(self, now: float) -> List[RunResult]:
+        """Assemble one result per run and tear the world down."""
+        world = self.world
+        epoch = self.epoch
+        tracer = self.tracer
+        trace_on = self._trace_on
+        results: List[RunResult] = []
+        tracer.set_time(now)
+        for run in world.runs:
+            # Truncation is per run identity, not per application name:
+            # the paper's 2-VM setups run the same app twice, and one VM
+            # timing out must not mark its twin truncated.
+            run_truncated = not run.finished
+            if run.finished:
+                finish = max(t.finish_time for t in run.threads)
+            else:
+                finish = now
+            completion = run.init_seconds + finish
+            stats = {
+                "init_seconds": run.init_seconds,
+                "truncated": 1.0 if run_truncated else 0.0,
+                "sync_fraction": run.context.sync_fraction,
+                "churn_slowdown": run.context.churn_slowdown,
+                "io_seconds_per_op": run.context.io_seconds_per_op,
+            }
+            # The transient observability snapshot of the run's context
+            # (fault/queue/p2m/policy counters). Excluded from equality
+            # and serialization, so stored results and reports are
+            # unchanged.
+            snapshot = getattr(run.context, "metrics_snapshot", None)
+            metrics = snapshot() if snapshot is not None else {}
+            if trace_on:
+                tracer.instant(
+                    "run.result",
+                    cat="engine",
+                    app=run.app.name,
+                    policy=run.context.policy_label,
+                    completion_seconds=completion,
+                    epochs=epoch,
+                    truncated=run_truncated,
+                )
+            results.append(
+                RunResult(
+                    app=run.app.name,
+                    environment=world.label,
+                    policy=run.context.policy_label,
+                    completion_seconds=completion,
+                    epochs=epoch,
+                    records=run.records,
+                    stats=stats,
+                    metrics=metrics,
+                )
             )
-        results.append(
-            RunResult(
-                app=run.app.name,
-                environment=world.label,
-                policy=run.context.policy_label,
-                completion_seconds=completion,
-                epochs=epoch,
-                records=run.records,
-                stats=stats,
-                metrics=metrics,
-            )
-        )
-    world.teardown()
-    return results
+        world.teardown()
+        return results
+
+
+def run_world(
+    world: World,
+    max_epochs: int = DEFAULT_MAX_EPOCHS,
+    solver_epsilon: Optional[float] = SOLVER_EPSILON,
+) -> List[RunResult]:
+    """Simulate a world to completion; returns one result per app run.
+
+    Args:
+        max_epochs: epoch cap; runs still unfinished at the cap are marked
+            truncated (per run — two runs of the same application are
+            tracked independently).
+        solver_epsilon: early-exit threshold for the per-epoch fixed-point
+            solve (see :data:`SOLVER_EPSILON`). ``None`` disables the
+            early exit and always runs all :data:`SOLVER_ITERATIONS`.
+    """
+    stepper = EpochStepper(world, solver_epsilon=solver_epsilon)
+    stepper.initialize()
+    now = 0.0
+    while stepper.epoch < max_epochs:
+        if not stepper.step(now):
+            break
+        now += stepper.epoch_seconds
+    return stepper.finish(now)
 
 
 def _migrations_of(run: AppRun) -> int:

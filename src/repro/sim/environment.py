@@ -26,6 +26,7 @@ from repro.guest.vmm import GuestAddressSpace
 from repro.hardware.machine import Machine
 from repro.hardware.presets import amd48
 from repro.hypervisor.xen import Hypervisor, XenFeatures, XEN, XEN_PLUS
+from repro.sim.host import Host
 from repro.sim.calibration import calibrate_app
 from repro.sim.instance import AppRun, RuntimeSegment, ThreadCtx
 from repro.sim.placement import PlacementTracker
@@ -81,6 +82,10 @@ class World:
     epoch_seconds: float
     teardown: Callable[[], None] = lambda: None
     epoch_hooks: dict = field(default_factory=dict)
+    #: The host this world runs on (None for native-Linux worlds, which
+    #: have no hypervisor). Cluster code navigates World -> Host to reach
+    #: the hypervisor owning the world's domains.
+    host: Optional[Host] = None
 
     def at_epoch(self, epoch: int, hook: Callable[["World"], None]) -> None:
         """Schedule ``hook(world)`` at the start of ``epoch``."""
@@ -509,6 +514,30 @@ class _XenContext(_PolicyContext):
             release=guest_alloc.free,
         )
         self._hv_fault_seconds_seen = hypervisor.fault_handler.stats.seconds_spent
+        #: The VM's requested policy (set by the environment) — live
+        #: migration re-runs this selection on the destination host.
+        self.policy_spec: Optional[PolicySpec] = None
+
+    def rebind_host(self, hypervisor: Hypervisor, domain, patch) -> None:
+        """Re-home this context onto a migrated-to domain.
+
+        Everything that referenced the source host is replaced: the
+        hypervisor, the domain, the PV patch (already wired to the
+        destination's hypercalls by the caller), and the placement
+        tracker — which must resolve frames against the *destination*
+        machine's heap. The fault-seconds watermark restarts at the
+        destination handler's current total so source-host fault time is
+        not double-charged (and destination boot faults are not missed).
+        """
+        self.hypervisor = hypervisor
+        self.domain = domain
+        self.patch = patch
+        self.tracker = PlacementTracker(
+            node_of_frame=hypervisor.machine.node_of_frame,
+            nodes_of_frames=hypervisor.machine.nodes_of_frames,
+        )
+        domain.p2m.observer = self.tracker
+        self._hv_fault_seconds_seen = hypervisor.fault_handler.stats.seconds_spent
 
     @property
     def domain_id(self) -> int:
@@ -679,8 +708,29 @@ class XenEnvironment(Environment):
 
     def setup(self, vms: Sequence[VmSpec]) -> World:
         """Build a world with one domU per :class:`VmSpec`."""
+        return self.setup_on(self.build_host(), vms)
+
+    def build_host(self, host_id: int = 0) -> Host:
+        """Boot a fresh host (machine + hypervisor) for this environment."""
         machine = self._machine_factory()
-        hypervisor = Hypervisor(machine, features=self.features)
+        return Host(
+            host_id=host_id,
+            machine=machine,
+            hypervisor=Hypervisor(machine, features=self.features),
+        )
+
+    def setup_on(
+        self,
+        host: Host,
+        vms: Sequence[VmSpec],
+        label: Optional[str] = None,
+    ) -> World:
+        """Build a world with one domU per :class:`VmSpec` on ``host``.
+
+        ``label`` overrides the world label (cluster hosts append their
+        host id so per-world observability cells stay distinguishable).
+        """
+        hypervisor = host.hypervisor
         sync = SyncModel(ipi=hypervisor.ipi)
         single_vm = len(vms) == 1
         runs: List[AppRun] = []
@@ -699,19 +749,135 @@ class XenEnvironment(Environment):
                 vcpu = context.domain.vcpus[thread.tid]
                 thread.cpu_share = hypervisor.scheduler.cpu_share(vcpu)
 
-        def teardown():
-            for c in contexts:
-                c.teardown()
-
-        return World(
-            machine=machine,
+        world = World(
+            machine=host.machine,
             runs=runs,
-            label=self.label,
+            label=label if label is not None else self.label,
             epoch_seconds=self.config.epoch_seconds,
-            teardown=teardown,
+            host=host,
         )
 
+        def teardown():
+            for run in world.runs:
+                run.context.teardown()
+
+        world.teardown = teardown
+        return world
+
     # ------------------------------------------------------------------
+    # Live-migration support (repro.cluster drives these)
+
+    def clone_domain_on(self, host: Host, run: AppRun):
+        """Create the destination domain of a live migration.
+
+        The domain is sized like the source and booted through the same
+        boot policy — which is precisely "re-run the NUMA placement on
+        the destination": the boot populate places every page fresh on
+        the destination's heap instead of inheriting the source layout.
+        """
+        context = run.context
+        source = context.domain
+        boot_base = (
+            PolicyName.ROUND_1G
+            if context.policy_spec.base is PolicyName.ROUND_1G
+            else PolicyName.ROUND_4K
+        )
+        return host.hypervisor.create_domain(
+            name=source.name,
+            num_vcpus=source.num_vcpus,
+            memory_pages=source.memory_pages,
+            boot_policy=PolicySpec(boot_base),
+        )
+
+    def complete_migration(self, run: AppRun, dest_host: Host, domain) -> None:
+        """Re-home ``run`` onto ``domain`` (already created on ``dest_host``).
+
+        Rebinds every host-coupled piece of the run context — hypervisor,
+        domain, placement tracker, hypercall stub, PV patch — re-selects
+        the runtime policy on the destination, re-pins the threads to the
+        destination vCPUs, resyncs segment placements from the
+        destination p2m, and finally destroys the source domain (freeing
+        its frames on the source heap).
+        """
+        context = run.context
+        source_hypervisor = context.hypervisor
+        source_domain = context.domain
+        hypervisor = dest_host.hypervisor
+
+        context.patch.detach()
+        external = ExternalInterface(hypervisor.hypercalls, domain.domain_id)
+        patch = PvNumaPatch(
+            context.guest_alloc,
+            external,
+            batch_size=self.queue_batch,
+            num_partitions=self.queue_partitions,
+        )
+        spec_policy = context.policy_spec
+        boot_base = (
+            PolicyName.ROUND_1G
+            if spec_policy.base is PolicyName.ROUND_1G
+            else PolicyName.ROUND_4K
+        )
+        # The same runtime selection `_setup_vm` performed, re-run against
+        # the destination hypervisor (fresh policy state, fresh placement).
+        if spec_policy.base is PolicyName.FIRST_TOUCH:
+            patch.select_policy(
+                PolicyName.FIRST_TOUCH.value, carrefour=spec_policy.carrefour
+            )
+            patch.report_free_pages()
+        elif spec_policy.carrefour:
+            patch.select_policy(boot_base.value, carrefour=True)
+        context.rebind_host(hypervisor, domain, patch)
+
+        for thread in run.threads:
+            vcpu = domain.vcpus[thread.tid]
+            thread.node = hypervisor.vcpu_node(domain, thread.tid)
+            thread.cpu_share = hypervisor.scheduler.cpu_share(vcpu)
+
+        for segment in run.segments:
+            touched = np.nonzero(segment.keys >= 0)[0]
+            if touched.size == 0:
+                continue
+            keys = segment.keys[touched]
+            nodes = domain.p2m.nodes_of(keys)
+            placed = nodes >= 0
+            segment.placement.place_many(
+                touched[placed], nodes[placed].astype(np.int64)
+            )
+            for idx, key in zip(touched.tolist(), keys.tolist()):
+                context.tracker.track(key, segment.placement, idx)
+
+        # The source p2m still observes the *old* tracker, whose
+        # registrations point at the same shared segment placements the
+        # loop above just resynced — detach it so tearing the source
+        # down doesn't release the destination's placements.
+        source_domain.p2m.observer = None
+        # The source p2m still observes the *old* tracker, whose
+        # registrations point at the same shared segment placements the
+        # loop above just resynced — detach it so tearing the source
+        # down doesn't release the destination's placements.
+        source_domain.p2m.observer = None
+        source_hypervisor.destroy_domain(source_domain)
+
+    # ------------------------------------------------------------------
+
+    def vm_memory_pages(self, spec: VmSpec, num_cpus: int) -> int:
+        """Guest-physical size a :class:`VmSpec` will be given.
+
+        Segment rounding can exceed the raw footprint (one page per
+        thread minimum); size the guest generously. The chunked middle
+        region is at least 8 GiB: a VM is not sized to its application,
+        and round-1G's behaviour on a small app (its pages packed into
+        one or two 1 GiB chunks) only shows with a realistic VM size.
+        Exposed so cluster placement can score hosts for a VM *before*
+        any domain exists.
+        """
+        num_vcpus = spec.num_vcpus or num_cpus
+        gib_pages = max(1, GIB // self.config.page_bytes)
+        footprint_pages = self.config.pages_for_bytes(spec.app.footprint_bytes)
+        alloc_slack = num_vcpus + 256
+        middle_pages = max(footprint_pages + alloc_slack, 8 * gib_pages)
+        return spec.memory_pages or (middle_pages + 2 * gib_pages)
 
     def _setup_vm(
         self,
@@ -725,14 +891,8 @@ class XenEnvironment(Environment):
         num_vcpus = spec.num_vcpus or machine.num_cpus
         gib_pages = max(1, GIB // self.config.page_bytes)
         footprint_pages = self.config.pages_for_bytes(app.footprint_bytes)
-        # Segment rounding can exceed the raw footprint (one page per
-        # thread minimum); size the guest generously. The chunked middle
-        # region is at least 8 GiB: a VM is not sized to its application,
-        # and round-1G's behaviour on a small app (its pages packed into
-        # one or two 1 GiB chunks) only shows with a realistic VM size.
         alloc_slack = num_vcpus + 256
-        middle_pages = max(footprint_pages + alloc_slack, 8 * gib_pages)
-        memory_pages = spec.memory_pages or (middle_pages + 2 * gib_pages)
+        memory_pages = self.vm_memory_pages(spec, machine.num_cpus)
 
         boot_base = (
             PolicyName.ROUND_1G
@@ -802,6 +962,7 @@ class XenEnvironment(Environment):
             churn_slowdown=churn,
             io_seconds_per_op=io_per_op,
         )
+        context.policy_spec = spec.policy
         context.tlb_seconds_per_op = self._tlb_seconds_per_op(
             machine, app, domain, num_vcpus
         )

@@ -32,8 +32,12 @@ from typing import Dict, Optional, Sequence, Tuple
 from repro.config import SimConfig, DEFAULT_CONFIG
 from repro.errors import RunSpecError
 
-#: Valid environment discriminators.
-ENVIRONMENTS = ("linux", "xen")
+#: Valid environment discriminators. ``cluster`` is a multi-host Xen
+#: deployment: the executor boots a fixed two-host cluster, places the
+#: VMs through the placement scheduler and live-migrates the first VM
+#: (see :mod:`repro.cluster`); everything else about the request — the
+#: feature set, the per-VM policies — reads exactly like ``xen``.
+ENVIRONMENTS = ("linux", "xen", "cluster")
 
 #: Policies the native Linux kernel offers (Figure 2's static bases).
 LINUX_POLICIES = ("first-touch", "round-4k")
@@ -128,6 +132,8 @@ class RunRequest:
             raise RunSpecError("a run request needs at least one VM/application")
         if self.environment == "linux":
             self._validate_linux()
+        elif self.environment == "cluster":
+            self._validate_cluster()
         else:
             self._validate_xen()
 
@@ -167,6 +173,17 @@ class RunRequest:
                     "MCS locks in a domU are a feature-set property (Xen+), "
                     "not a per-VM request field"
                 )
+
+    def _validate_cluster(self) -> None:
+        # A cluster request is a Xen request deployed across hosts: the
+        # same feature-set and per-VM policy vocabulary applies, and the
+        # first VM is the one the executor live-migrates.
+        self._validate_xen()
+        if self.unbatched_hypercalls:
+            raise RunSpecError(
+                "unbatched_hypercalls is a single-host ablation knob; "
+                "cluster requests always use the batched queue"
+            )
 
     # ------------------------------------------------------------------
     # Canonical serialization and the cache key

@@ -1,0 +1,34 @@
+"""Shared fixtures for the cluster tests: coarse, fast two-VM clusters."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.cluster import Cluster
+from repro.sim.environment import VmSpec, XenEnvironment
+from repro.workloads.suite import get_app
+
+from tests.conftest import fast_app
+
+#: Coarse pages keep the resident set in the hundreds, so a full
+#: pre-copy migration runs in well under a second.
+COARSE = SimConfig(page_scale=4096)
+
+
+def cluster_vms():
+    """Two fast 6-vCPU VMs; the first one is the migration candidate."""
+    return [
+        VmSpec(app=fast_app(get_app("streamcluster"), baseline_seconds=6.0), num_vcpus=6),
+        VmSpec(app=fast_app(get_app("facesim"), baseline_seconds=6.0), num_vcpus=6),
+    ]
+
+
+def build_cluster(num_hosts=2, config=COARSE):
+    return Cluster(XenEnvironment(config=config), num_hosts)
+
+
+@pytest.fixture
+def cluster():
+    """A deployed two-host cluster with the fast VM pair."""
+    cluster = build_cluster()
+    cluster.deploy(cluster_vms())
+    return cluster

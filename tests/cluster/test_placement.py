@@ -1,0 +1,104 @@
+"""Placement scheduler: multi-NUMA space scoring and seeded tie-breaks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OutOfMemoryError
+from repro.cluster.placement import PlacementScheduler
+
+from tests.cluster.conftest import build_cluster, cluster_vms
+
+
+def _scheduler(seed=7):
+    return PlacementScheduler(np.random.default_rng(seed))
+
+
+class TestScoring:
+    def test_empty_host_is_admissible(self):
+        cluster = build_cluster()
+        host = cluster.hosts[0]
+        score = _scheduler().score_host(host, num_vcpus=6, memory_pages=64)
+        assert score.admissible
+        assert score.space_pages >= 64
+        assert score.score > 0
+
+    def test_small_vm_needs_one_node(self):
+        cluster = build_cluster()
+        host = cluster.hosts[0]
+        cpus_per_node = host.machine.topology.cpus_per_node
+        score = _scheduler().score_host(
+            host, num_vcpus=cpus_per_node, memory_pages=1
+        )
+        assert score.nodes_needed == 1
+
+    def test_node_set_grows_for_large_footprints(self):
+        cluster = build_cluster()
+        host = cluster.hosts[0]
+        free = host.free_frames_by_node()
+        per_node = max(free)
+        score = _scheduler().score_host(
+            host, num_vcpus=1, memory_pages=per_node * 2
+        )
+        assert score.nodes_needed >= 2
+
+    def test_impossible_request_not_admissible(self):
+        cluster = build_cluster()
+        host = cluster.hosts[0]
+        total = sum(host.free_frames_by_node())
+        score = _scheduler().score_host(host, num_vcpus=6, memory_pages=total + 1)
+        assert not score.admissible
+        assert score.score == float("-inf")
+
+
+class TestChoice:
+    def test_loaded_host_loses_to_empty_host(self):
+        cluster = build_cluster()
+        cluster.deploy(cluster_vms())
+        # Host 0 got the first VM; a new placement must prefer whichever
+        # host the scheduler scores higher, and both stayed admissible.
+        chosen = _scheduler().choose_host(cluster.hosts, 6, 64)
+        assert chosen in cluster.hosts
+
+    def test_exclude_rules_out_the_source(self):
+        cluster = build_cluster()
+        chosen = _scheduler().choose_host(
+            cluster.hosts, 6, 64, exclude=(0,)
+        )
+        assert chosen.host_id == 1
+
+    def test_no_admissible_host_raises(self):
+        cluster = build_cluster()
+        total = sum(cluster.hosts[0].free_frames_by_node())
+        with pytest.raises(OutOfMemoryError):
+            _scheduler().choose_host(cluster.hosts, 6, total * 2)
+
+    def test_tie_break_is_seeded(self):
+        cluster = build_cluster()
+        picks_a = [
+            _scheduler(seed=11).choose_host(cluster.hosts, 6, 64).host_id
+            for _ in range(4)
+        ]
+        picks_b = [
+            _scheduler(seed=11).choose_host(cluster.hosts, 6, 64).host_id
+            for _ in range(4)
+        ]
+        assert picks_a == picks_b
+
+
+class TestDeployment:
+    def test_two_vms_spread_over_two_hosts(self, cluster):
+        populated = [
+            host.host_id
+            for host in cluster.hosts
+            if cluster.worlds[host.host_id].runs
+        ]
+        assert sorted(populated) == [0, 1]
+
+    def test_every_host_gets_a_world(self, cluster):
+        assert set(cluster.worlds) == {0, 1}
+
+    def test_deploy_twice_rejected(self, cluster):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            cluster.deploy(cluster_vms())

@@ -7,7 +7,7 @@ import pytest
 from repro.config import SimConfig
 from repro.lint import sanitizer as p2m_sanitizer
 from repro.perfbench import oracle
-from repro.perfbench.bench import bench_solver
+from repro.perfbench.bench import bench_migration, bench_solver
 from repro.perfbench.cli import main
 from repro.perfbench.worlds import (
     WORLD_PRESETS,
@@ -134,6 +134,28 @@ class TestScalarOracleEquivalence:
             r.completion_seconds for r in scalar
         ]
         assert [r.epochs for r in vec] == [r.epochs for r in scalar]
+
+
+class TestMigrationMicrobench:
+    def test_batched_rounds_match_scalar_and_are_faster(self):
+        """The dirty-round copy kernel: both spellings must transfer an
+        identical image, and the batched one must actually be the fast
+        path (generous margin for noisy CI hosts)."""
+        stats = bench_migration(
+            SimConfig(), repeat=3, pages=1024, rounds=4, dirty_pages=128
+        )
+        assert stats["results_match"] == 1.0
+        assert stats["rounds"] == 4.0
+        assert stats["pages_per_transfer"] == 1024.0 + 3 * 128.0
+        assert stats["speedup"] >= 2.0
+
+    def test_round_structure_seeded(self):
+        """The dirty sets come from the config seed, so two benches do
+        byte-for-byte the same work."""
+        a = bench_migration(SimConfig(), repeat=1, pages=256, rounds=3)
+        b = bench_migration(SimConfig(), repeat=1, pages=256, rounds=3)
+        assert a["pages_per_transfer"] == b["pages_per_transfer"]
+        assert a["results_match"] == b["results_match"] == 1.0
 
 
 class TestSolverMicrobench:

@@ -136,3 +136,39 @@ class TestExecuteRequest:
     def test_deterministic_re_execution(self):
         request = _linux()
         assert execute_request(request) == execute_request(request)
+
+
+def _cluster(config=None):
+    return RunRequest(
+        environment="cluster",
+        vms=(
+            VmRequest(app="streamcluster", num_vcpus=6),
+            VmRequest(app="facesim", num_vcpus=6),
+        ),
+        features="Xen+",
+        config=config or SimConfig(page_scale=4096),
+    )
+
+
+class TestClusterExecution:
+    def test_first_vm_migrates_to_the_other_host(self):
+        results = execute_request(_cluster())
+        by_app = {r.app: r for r in results}
+        assert set(by_app) == {"streamcluster", "facesim"}
+        # The migrated VM finishes on a host-qualified world label and
+        # carries the protocol stats.
+        migrated = by_app["streamcluster"]
+        assert "@h" in migrated.environment
+        assert migrated.stats["migration.rounds"] >= 1
+
+    def test_cluster_execution_deterministic(self):
+        assert execute_request(_cluster()) == execute_request(_cluster())
+
+    def test_cluster_results_cache_and_replay(self, tmp_path):
+        request = _cluster()
+        runner = Runner(store=DiskRunStore(str(tmp_path / "rs")))
+        first = runner.resolve([request]).get(request)
+        runner2 = Runner(store=DiskRunStore(str(tmp_path / "rs")))
+        second = runner2.resolve([request]).get(request)
+        assert runner2.stats.executed == 0
+        assert first == second

@@ -122,6 +122,40 @@ class TestValidation:
         with pytest.raises(RunSpecError):
             _xen(mcs_locks=True)
 
+    def test_cluster_reads_like_xen(self):
+        request = RunRequest(
+            environment="cluster",
+            vms=(VmRequest(app="streamcluster"), VmRequest(app="facesim")),
+            features="Xen+",
+        )
+        assert request.environment == "cluster"
+        assert request.cache_key() == RunRequest.from_json(
+            request.to_json()
+        ).cache_key()
+
+    def test_cluster_validates_policies_like_xen(self):
+        with pytest.raises(RunSpecError):
+            RunRequest(
+                environment="cluster",
+                vms=(VmRequest(app="cg.C", policy="numad"),),
+                features="Xen+",
+            )
+        with pytest.raises(RunSpecError):
+            RunRequest(
+                environment="cluster",
+                vms=(VmRequest(app="cg.C"),),
+                features="Xen++",
+            )
+
+    def test_cluster_rejects_unbatched_hypercalls(self):
+        with pytest.raises(RunSpecError):
+            RunRequest(
+                environment="cluster",
+                vms=(VmRequest(app="cg.C"),),
+                features="Xen+",
+                unbatched_hypercalls=True,
+            )
+
 
 class TestNormalization:
     def test_sequences_become_tuples(self):
