@@ -74,6 +74,16 @@ class RunSpecError(ReproError):
     """
 
 
+class MultiRunError(ReproError):
+    """A batched multi-run group was built from incompatible worlds.
+
+    The structure-of-arrays driver (:mod:`repro.core.multirun`) shares
+    one set of topology constants across every world of a group; worlds
+    with different node counts, link layouts, epoch lengths or latency
+    parameters cannot be stacked and must execute per request instead.
+    """
+
+
 class ObsError(ReproError):
     """Invalid use of the observability layer.
 

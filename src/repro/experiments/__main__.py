@@ -68,7 +68,8 @@ usage: python -m repro.experiments <command>
 commands:
   list                         describe every scenario (runs, reuse)
   run <name ...|all> [options] resolve scenarios through one shared store
-                               options: --jobs N  --store DIR  --apps a,b
+                               options: --jobs N  --batch-worlds K
+                                        --store DIR  --apps a,b
                                         --page-scale N  --quiet
   report [output.md]           regenerate the EXPERIMENTS.md report
   <name> [app ...]             legacy form: one experiment, default store
@@ -99,6 +100,11 @@ def _run_command(argv: List[str]) -> int:
     parser.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for cache misses (default: serial)",
+    )
+    parser.add_argument(
+        "--batch-worlds", type=int, default=1, metavar="K",
+        help="execute up to K compatible cache misses as one batched "
+        "multi-run group (results are byte-identical to serial)",
     )
     parser.add_argument(
         "--store", default=None, metavar="DIR",
@@ -135,7 +141,11 @@ def _run_command(argv: List[str]) -> int:
     with ExitStack() as stack:
         if args.trace is not None:
             obs_session = stack.enter_context(obs.session())
-        runner = Runner(store=open_store(args.store), jobs=jobs)
+        runner = Runner(
+            store=open_store(args.store),
+            jobs=jobs,
+            batch_worlds=args.batch_worlds,
+        )
         if args.page_scale is not None:
             stack.enter_context(common.configured(SimConfig(page_scale=args.page_scale)))
         for name in names:

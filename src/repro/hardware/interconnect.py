@@ -8,7 +8,9 @@ of the most loaded link, Table 1).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
 
 from repro.hardware.topology import Link, NumaTopology
 
@@ -21,6 +23,8 @@ class Interconnect:
     def __init__(self, topology: NumaTopology):
         self.topology = topology
         self._bytes: Dict[LinkKey, int] = {l.key: 0 for l in topology.links}
+        self._keys: Tuple[LinkKey, ...] = tuple(l.key for l in topology.links)
+        self._route_incidence: Optional[np.ndarray] = None
 
     def record_access(self, src: int, dst: int, nbytes: int) -> None:
         """Account ``nbytes`` flowing along the route from ``src`` to ``dst``.
@@ -31,6 +35,40 @@ class Interconnect:
             return
         for link in self.topology.route(src, dst):
             self._bytes[link.key] += nbytes
+
+    def route_incidence(self) -> np.ndarray:
+        """0/1 matrix mapping flattened ``(src, dst)`` pairs to links.
+
+        Built lazily from the topology's routes and cached; multiplying a
+        flattened byte matrix against it yields per-link byte totals in
+        ``topology.links`` order.
+        """
+        if self._route_incidence is None:
+            incidence = self.topology.route_link_matrix().astype(np.int64)
+            incidence.setflags(write=False)
+            self._route_incidence = incidence
+        return self._route_incidence
+
+    def record_link_bytes(self, link_bytes: Iterable[int]) -> None:
+        """Add precomputed per-link byte counts (``topology.links`` order)."""
+        for key, nbytes in zip(self._keys, link_bytes):
+            if nbytes:
+                self._bytes[key] += nbytes
+
+    def record_access_matrix(self, byte_matrix: np.ndarray) -> None:
+        """Account a whole ``(n, n)`` matrix of per-route byte counts.
+
+        State-identical to calling :meth:`record_access` on every
+        ``(src, dst)`` pair: per-link totals are integer sums of the same
+        per-pair byte counts (integer addition is order-free), computed
+        as one integer matrix product against the 0/1 route-incidence
+        matrix instead of ``n**2`` python route walks. This is the engine
+        hot path — one call per world per epoch.
+        """
+        if not self._keys:
+            return
+        link_bytes = byte_matrix.reshape(-1) @ self.route_incidence()
+        self.record_link_bytes(link_bytes.tolist())
 
     def record_route(self, route: Iterable[Link], nbytes: int) -> None:
         """Account traffic on a precomputed route (hot path for the engine)."""

@@ -107,6 +107,17 @@ class LatencyModel:
             return float(out)
         return out
 
+    def hop_coefficients(self, hops) -> Tuple[np.ndarray, np.ndarray]:
+        """``(base, coeff)`` cycle terms per entry of ``hops``.
+
+        Exactly the table lookups :meth:`memory_latency_cycles` performs;
+        hops are constant per topology, so solvers precompute these once
+        and keep the per-iteration latency math purely elementwise.
+        """
+        hops = np.asarray(hops)
+        idx = np.minimum(hops, len(self.base_cycles) - 1)
+        return self._base_arr[idx], self._coeff_arr[idx]
+
     def memory_latency_cycles(
         self, hops, rho_controller: Rho, rho_link: Rho = 0.0
     ) -> Rho:

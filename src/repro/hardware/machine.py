@@ -9,7 +9,7 @@ links and counters stay consistent.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -94,15 +94,20 @@ class Machine:
             raise ValueError("access matrix shape mismatch")
         self.counters.record_matrix(matrix)
         col_bytes = matrix.sum(axis=0) * CACHE_LINE_BYTES
-        for node in range(self.num_nodes):
-            if col_bytes[node]:
-                self.memory.controllers[node].serve(int(col_bytes[node]))
-        for src in range(self.num_nodes):
-            for dst in range(self.num_nodes):
-                if src != dst and matrix[src, dst]:
-                    self.interconnect.record_access(
-                        src, dst, int(matrix[src, dst] * CACHE_LINE_BYTES)
-                    )
+        for node, nbytes in enumerate(col_bytes.tolist()):
+            if nbytes:
+                self.memory.controllers[node].serve(int(nbytes))
+        # Truncation per pair matches the old per-pair int() exactly
+        # (access counts are non-negative), and per-link integer sums are
+        # order-free, so the vectorized recording is state-identical to
+        # the old per-(src, dst) record_access loop.
+        byte_matrix = (matrix * CACHE_LINE_BYTES).astype(np.int64)
+        np.fill_diagonal(byte_matrix, 0)
+        self.interconnect.record_access_matrix(byte_matrix)
+
+    def record_link_traffic(self, link_bytes: Iterable[int]) -> None:
+        """Add precomputed per-link byte counts (``topology.links`` order)."""
+        self.interconnect.record_link_bytes(link_bytes)
 
     def congestion(self, seconds: float) -> Tuple[np.ndarray, Dict[Tuple[int, int], float]]:
         """Controller and link utilisations for the traffic recorded so far.
@@ -142,3 +147,36 @@ class Machine:
             f"Machine({self.num_nodes} nodes x {self.topology.cpus_per_node} CPUs, "
             f"{self.memory.frames_per_node} frames/node)"
         )
+
+
+def record_node_traffic_many(
+    machines: Sequence[Machine], stacked: np.ndarray
+) -> None:
+    """Account one epoch of traffic on many machines at once.
+
+    ``stacked[w]`` is machine ``w``'s access matrix. State-identical to
+    calling :meth:`Machine.record_node_traffic` per machine — the same
+    per-world arithmetic, with the fixed numpy overheads (dtype cast,
+    diagonal clear, route matmul) paid once per epoch instead of once
+    per world. Callers must have checked the machines share a topology
+    (routes and link order), as the multi-run grouper does; the route
+    incidence of the first machine is reused for all of them.
+    """
+    num_worlds = len(machines)
+    n = machines[0].num_nodes
+    if stacked.shape != (num_worlds, n, n):
+        raise ValueError("access matrix stack shape mismatch")
+    # Column sums over the stack reduce the same contiguous elements in
+    # the same order as each slice's ``matrix.sum(axis=0)``.
+    col_stack = stacked.sum(axis=1) * CACHE_LINE_BYTES
+    byte_stack = (stacked * CACHE_LINE_BYTES).astype(np.int64)
+    idx = np.arange(n)
+    byte_stack[:, idx, idx] = 0
+    incidence = machines[0].interconnect.route_incidence()
+    link_stack = byte_stack.reshape(num_worlds, -1) @ incidence
+    for w, machine in enumerate(machines):
+        machine.counters.record_matrix(stacked[w])
+        for node, nbytes in enumerate(col_stack[w].tolist()):
+            if nbytes:
+                machine.memory.controllers[node].serve(int(nbytes))
+        machine.record_link_traffic(link_stack[w].tolist())

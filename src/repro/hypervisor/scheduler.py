@@ -30,6 +30,11 @@ class Scheduler:
         self.num_pcpus = num_pcpus
         self._placement: Dict[VcpuKey, int] = {}
         self._runqueues: Dict[int, List[VcpuKey]] = defaultdict(list)
+        #: Bumped on every placement change. CPU shares can only change
+        #: when a runqueue does, so caches keyed on (scheduler, version)
+        #: — the multi-run gather cache — stay exact without re-reading
+        #: every thread's share each epoch.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Placement
@@ -42,6 +47,7 @@ class Scheduler:
         vcpu.pinned_pcpu = pcpu
         self._placement[vcpu.key] = pcpu
         self._runqueues[pcpu].append(vcpu.key)
+        self.version += 1
 
     def pin_domain(self, domain: Domain, pcpus: Sequence[int]) -> None:
         """Pin a domain's vCPUs 1:1 onto ``pcpus``."""
@@ -58,6 +64,7 @@ class Scheduler:
         pcpu = self._placement.pop(vcpu.key, None)
         if pcpu is not None:
             self._runqueues[pcpu].remove(vcpu.key)
+            self.version += 1
 
     def remove_domain(self, domain: Domain) -> None:
         """Unplace every vCPU of ``domain``."""

@@ -25,24 +25,36 @@ from typing import Dict, Set, Tuple
 
 from repro.errors import SanitizerError
 
-_GLOBALLY_ENABLED = False
+class _SanitizerMode:
+    """Holds the process-wide global-enable switch.
+
+    An attribute on one holder object (the ``core.batch`` idiom) rather
+    than a rebound module global, so the dataflow lint can see the write
+    is confined to one owned object.
+    """
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = False
+
+
+_MODE = _SanitizerMode()
 
 
 def enable() -> None:
     """Attach a sanitizer to every hypervisor created from now on."""
-    global _GLOBALLY_ENABLED
-    _GLOBALLY_ENABLED = True
+    _MODE.enabled = True
 
 
 def disable() -> None:
     """Stop attaching sanitizers to newly created hypervisors."""
-    global _GLOBALLY_ENABLED
-    _GLOBALLY_ENABLED = False
+    _MODE.enabled = False
 
 
 def is_enabled() -> bool:
     """Whether new hypervisors get a sanitizer regardless of config."""
-    return _GLOBALLY_ENABLED
+    return _MODE.enabled
 
 
 class P2MSanitizer:

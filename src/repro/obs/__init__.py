@@ -92,28 +92,44 @@ class ObsSession:
         return write_trace(path, self.payload())
 
 
-_SESSION: Optional[ObsSession] = None
+class _SessionSlot:
+    """Holds the process-local active session.
+
+    An attribute on one holder object (the ``core.batch`` idiom) rather
+    than a rebound module global, so the dataflow lint can see the write
+    is confined to one owned object.
+    """
+
+    __slots__ = ("session",)
+
+    def __init__(self) -> None:
+        self.session: Optional[ObsSession] = None
+
+
+_SLOT = _SessionSlot()
 _NULL_REGISTRY = MetricsRegistry(enabled=False)
 
 
 def active() -> Optional[ObsSession]:
     """The active session, or None."""
-    return _SESSION
+    return _SLOT.session
 
 
 def enabled() -> bool:
     """Whether an observability session is collecting."""
-    return _SESSION is not None
+    return _SLOT.session is not None
 
 
 def registry() -> MetricsRegistry:
     """The active session's registry, or the disabled default."""
-    return _SESSION.registry if _SESSION is not None else _NULL_REGISTRY
+    sess = _SLOT.session
+    return sess.registry if sess is not None else _NULL_REGISTRY
 
 
 def tracer() -> Union[Tracer, NullTracer]:
     """The active session's tracer, or the shared no-op tracer."""
-    return _SESSION.tracer if _SESSION is not None else NULL_TRACER
+    sess = _SLOT.session
+    return sess.tracer if sess is not None else NULL_TRACER
 
 
 @contextmanager
@@ -123,12 +139,11 @@ def session() -> Iterator[ObsSession]:
     The session object survives the block, so callers write the trace
     after deactivation (once every component has finished recording).
     """
-    global _SESSION
-    if _SESSION is not None:
+    if _SLOT.session is not None:
         raise ObsError("an observability session is already active")
     sess = ObsSession()
-    _SESSION = sess
+    _SLOT.session = sess
     try:
         yield sess
     finally:
-        _SESSION = None
+        _SLOT.session = None

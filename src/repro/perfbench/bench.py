@@ -8,17 +8,21 @@ from a generator seeded by ``SimConfig.rng_seed``.
 
 from __future__ import annotations
 
+import json
 import timeit
 from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
 from repro.config import SimConfig
+from repro.core.multirun import run_worlds, scalar_multirun
 from repro.hardware.presets import amd48
 from repro.hypervisor.domain import Domain
 from repro.perfbench import oracle
 from repro.perfbench.worlds import WORLD_PRESETS, build_world
+from repro.runner import build_world as build_request_world
 from repro.sim.engine import CongestionSolver, run_world
+from repro.sim.runspec import RunRequest, VmRequest
 
 #: timeit repetitions per world preset.
 DEFAULT_REPEAT = 5
@@ -33,6 +37,31 @@ DEFAULT_SOLVER_ITERATIONS = 200
 #: Mean access-matrix entry of the microbenchmark (accesses per epoch
 #: between one node pair — enough to load controllers and links).
 MICROBENCH_TRAFFIC = 3e7
+#: Worlds per multi-run sweep sample (the issue's acceptance bar is
+#: phrased over a 16-world sweep).
+MULTI_RUN_WORLDS = 16
+#: timeit repetitions of the multi-run comparison (each sample simulates
+#: the full sweep twice — serial then batched — so this stays small).
+DEFAULT_MULTI_RUN_REPEAT = 3
+#: Four-VM consolidation mixes cycled across the sweep's worlds: the
+#: paper's Table 2 shape (several VMs sharing one host), and the shape
+#: where per-run python dispatch costs the serial driver the most.
+MULTI_RUN_APP_MIXES = (
+    ("cg.C", "sp.C", "swaptions", "streamcluster"),
+    ("ep.D", "ft.C", "lu.C", "cg.C"),
+    ("swaptions", "ep.D", "sp.C", "ft.C"),
+    ("lu.C", "streamcluster", "cg.C", "swaptions"),
+)
+#: Placement policies cycled across the sweep's worlds.
+MULTI_RUN_POLICIES = ("round-4k", "first-touch", "round-1g")
+#: Epoch length of the sweep's worlds — short epochs mean many epochs,
+#: which is what a fixed-machine parameter sweep looks like.
+MULTI_RUN_EPOCH_SECONDS = 0.25
+#: Page scale of the sweep's worlds (coarse pages keep world build cheap;
+#: build time is untimed either way).
+MULTI_RUN_PAGE_SCALE = 4096
+#: vCPUs per VM — four 6-vCPU domains fill half the AMD48's pCPUs.
+MULTI_RUN_VCPUS = 6
 #: Resident pages of the migration microbench's source domain.
 DEFAULT_MIGRATION_PAGES = 4096
 #: Pre-copy rounds per migration sample (round 1 + dirty rounds).
@@ -164,6 +193,92 @@ def bench_page_path(
     }
 
 
+def _multi_run_requests(config: SimConfig, num_worlds: int) -> List[RunRequest]:
+    """The sweep's requests: seeded, group-compatible, all distinct."""
+    return [
+        RunRequest(
+            environment="xen",
+            features="Xen",
+            vms=tuple(
+                VmRequest(
+                    app=MULTI_RUN_APP_MIXES[i % len(MULTI_RUN_APP_MIXES)][v],
+                    policy=MULTI_RUN_POLICIES[i % len(MULTI_RUN_POLICIES)],
+                    num_vcpus=MULTI_RUN_VCPUS,
+                )
+                for v in range(len(MULTI_RUN_APP_MIXES[0]))
+            ),
+            config=SimConfig(
+                rng_seed=config.rng_seed + i,
+                epoch_seconds=MULTI_RUN_EPOCH_SECONDS,
+                page_scale=MULTI_RUN_PAGE_SCALE,
+            ),
+        )
+        for i in range(num_worlds)
+    ]
+
+
+def bench_multi_run(
+    config: SimConfig,
+    repeat: int = DEFAULT_MULTI_RUN_REPEAT,
+    num_worlds: int = MULTI_RUN_WORLDS,
+) -> Dict[str, float]:
+    """Batched multi-run engine vs per-run serial execution of one sweep.
+
+    One sample simulates a ``num_worlds``-world consolidation sweep
+    (four 6-vCPU VMs per world, app mixes and policies cycling, one
+    seed per world) twice over fresh worlds: once through
+    :func:`repro.core.multirun.run_worlds` and once world-by-world
+    under :func:`~repro.core.multirun.scalar_multirun` — the committed
+    scalar oracle, i.e. exactly what a sweep driver without the batched
+    engine would execute. World building is untimed in both legs.
+    ``results_match`` checks the full report output of every sample is
+    byte-identical between the legs (sorted-key JSON of every
+    ``RunResult``).
+    """
+    batched_samples: List[float] = []
+    serial_samples: List[float] = []
+    matches = True
+    for _ in range(max(1, repeat)):
+        requests = _multi_run_requests(config, num_worlds)
+        worlds = [build_request_world(r) for r in requests]
+        holder: Dict[str, object] = {}
+
+        def batched() -> None:
+            holder["batched"] = run_worlds(worlds)
+
+        batched_samples.append(timeit.Timer(batched).timeit(number=1))
+        serial_worlds = [build_request_world(r) for r in requests]
+
+        def serial() -> None:
+            with scalar_multirun():
+                holder["serial"] = [run_world(w) for w in serial_worlds]
+
+        serial_samples.append(timeit.Timer(serial).timeit(number=1))
+        matches = matches and json.dumps(
+            [[r.to_json() for r in group] for group in holder["batched"]],
+            sort_keys=True,
+        ) == json.dumps(
+            [[r.to_json() for r in group] for group in holder["serial"]],
+            sort_keys=True,
+        )
+    batched_min = float(np.min(batched_samples))
+    serial_min = float(np.min(serial_samples))
+    return {
+        "num_worlds": float(num_worlds),
+        "vms_per_world": float(len(MULTI_RUN_APP_MIXES[0])),
+        "repeat": float(max(1, repeat)),
+        "batched_median_seconds": float(np.median(batched_samples)),
+        "serial_median_seconds": float(np.median(serial_samples)),
+        "batched_min_seconds": batched_min,
+        "serial_min_seconds": serial_min,
+        # Fastest-over-fastest, like the solver and migration sections:
+        # timeit's standard defense against scheduler noise (the slower
+        # samples measure the host, not the code).
+        "speedup": serial_min / batched_min if batched_min else float("inf"),
+        "results_match": float(matches),
+    }
+
+
 def bench_migration(
     config: SimConfig,
     repeat: int = DEFAULT_REPEAT,
@@ -256,6 +371,8 @@ def run_benchmarks(
     page_path: bool = True,
     page_path_repeat: int = DEFAULT_PAGE_PATH_REPEAT,
     migration: bool = True,
+    multi_run: bool = True,
+    multi_run_repeat: int = DEFAULT_MULTI_RUN_REPEAT,
 ) -> Dict[str, object]:
     """Run the full suite; returns the ``BENCH_<label>.json`` payload."""
     config = config or SimConfig()
@@ -276,4 +393,6 @@ def run_benchmarks(
         payload["page_path"] = bench_page_path(config, repeat=page_path_repeat)
     if migration:
         payload["migration"] = bench_migration(config, repeat=repeat)
+    if multi_run:
+        payload["multi_run"] = bench_multi_run(config, repeat=multi_run_repeat)
     return payload

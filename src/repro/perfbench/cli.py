@@ -24,6 +24,7 @@ from typing import List, Optional
 from repro import obs
 from repro.config import SimConfig
 from repro.perfbench.bench import (
+    DEFAULT_MULTI_RUN_REPEAT,
     DEFAULT_PAGE_PATH_REPEAT,
     DEFAULT_REPEAT,
     DEFAULT_SOLVER_ITERATIONS,
@@ -72,6 +73,18 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the migration (batched vs scalar dirty-round copy) "
         "comparison",
+    )
+    parser.add_argument(
+        "--no-multi-run",
+        action="store_true",
+        help="skip the multi-run (batched engine vs serial sweep) comparison",
+    )
+    parser.add_argument(
+        "--multi-run-repeat",
+        type=int,
+        default=DEFAULT_MULTI_RUN_REPEAT,
+        help="timeit repetitions of the multi-run comparison "
+        f"(default: {DEFAULT_MULTI_RUN_REPEAT})",
     )
     parser.add_argument(
         "--page-path-repeat",
@@ -143,6 +156,17 @@ def _print_report(payload: dict, out) -> None:
             f"{migration['speedup']:.1f}x (images {match})",
             file=out,
         )
+    multi_run = payload.get("multi_run")
+    if multi_run:
+        match = "ok" if multi_run["results_match"] else "MISMATCH"
+        print(
+            f"  multi_run: batched {multi_run['batched_median_seconds']:.3f}s "
+            f"vs serial {multi_run['serial_median_seconds']:.3f}s over "
+            f"{multi_run['num_worlds']:.0f} worlds x "
+            f"{multi_run['vms_per_world']:.0f} VMs -> "
+            f"{multi_run['speedup']:.1f}x (reports {match})",
+            file=out,
+        )
 
 
 def _print_delta(payload: dict, baseline: dict, out) -> None:
@@ -175,6 +199,14 @@ def _print_delta(payload: dict, baseline: dict, out) -> None:
             f"(baseline {ref_migration['speedup']:.1f}x)",
             file=out,
         )
+    ref_multi = baseline.get("multi_run")
+    multi_run = payload.get("multi_run")
+    if ref_multi and multi_run:
+        print(
+            f"  multi_run: speedup {multi_run['speedup']:.1f}x "
+            f"(baseline {ref_multi['speedup']:.1f}x)",
+            file=out,
+        )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -193,6 +225,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             page_path=not args.no_page_path,
             page_path_repeat=args.page_path_repeat,
             migration=not args.no_migration,
+            multi_run=not args.no_multi_run,
+            multi_run_repeat=args.multi_run_repeat,
         )
     if obs_session is not None:
         obs_session.write_trace(args.trace)

@@ -10,7 +10,14 @@ Workers rebuild the world from the serialized request
 are bit-identical to serial ones.
 """
 
-from repro.runner.exec import execute_request
+from repro.runner.exec import build_environment, build_world, execute_request
 from repro.runner.runner import ResultSet, Runner, RunnerStats
 
-__all__ = ["execute_request", "Runner", "ResultSet", "RunnerStats"]
+__all__ = [
+    "build_environment",
+    "build_world",
+    "execute_request",
+    "Runner",
+    "ResultSet",
+    "RunnerStats",
+]

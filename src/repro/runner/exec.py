@@ -14,9 +14,16 @@ from typing import List
 
 from repro.cluster import Cluster
 from repro.core.policies.base import PolicyName, PolicySpec
+from repro.errors import RunSpecError
 from repro.hypervisor.xen import XEN, XEN_PLUS
-from repro.sim.engine import run_apps
-from repro.sim.environment import LinuxEnvironment, VmSpec, XenEnvironment
+from repro.sim.engine import run_world
+from repro.sim.environment import (
+    Environment,
+    LinuxEnvironment,
+    VmSpec,
+    World,
+    XenEnvironment,
+)
 from repro.sim.results import RunResult
 from repro.sim.runspec import RunRequest, VmRequest
 from repro.workloads.suite import get_app
@@ -40,28 +47,49 @@ def _vm_spec(vm: VmRequest) -> VmSpec:
     )
 
 
-def execute_request(request: RunRequest) -> List[RunResult]:
-    """Run ``request`` to completion; one result per VM, in request order."""
+def build_environment(request: RunRequest) -> Environment:
+    """The environment a request's world(s) are set up in."""
     if request.environment == "linux":
         vm = request.vms[0]
-        env = LinuxEnvironment(
+        return LinuxEnvironment(
             policy=vm.policy,
             carrefour=vm.carrefour,
             mcs_locks=vm.mcs_locks,
             config=request.config,
         )
-        return run_apps(env, [get_app(vm.app)])
     features = XEN_PLUS if request.features == "Xen+" else XEN
-    env = XenEnvironment(
+    return XenEnvironment(
         features=features,
         config=request.config,
         unbatched_hypercalls=request.unbatched_hypercalls,
     )
+
+
+def build_world(request: RunRequest) -> World:
+    """Build the single-host world of ``request``, ready to simulate.
+
+    This is the world-construction half of :func:`execute_request`,
+    factored out so the multi-run batcher (:mod:`repro.core.multirun`)
+    can build a whole group of worlds before stepping them together.
+    Cluster requests have no single world (one per host) and are
+    rejected — they always execute through :func:`execute_request`.
+    """
+    if request.environment == "cluster":
+        raise RunSpecError("cluster requests deploy one world per host")
+    env = build_environment(request)
+    if request.environment == "linux":
+        return env.setup([get_app(request.vms[0].app)])
+    return env.setup([_vm_spec(vm) for vm in request.vms])
+
+
+def execute_request(request: RunRequest) -> List[RunResult]:
+    """Run ``request`` to completion; one result per VM, in request order."""
     if request.environment == "cluster":
         # Results come back grouped by host (ascending id), each labelled
         # with the world the run finished on — not in request order.
+        env = build_environment(request)
         cluster = Cluster(env, CLUSTER_HOSTS)
         cluster.deploy([_vm_spec(vm) for vm in request.vms])
         cluster.migrate_at(CLUSTER_MIGRATION_EPOCH, request.vms[0].app)
         return cluster.simulate()
-    return run_apps(env, [_vm_spec(vm) for vm in request.vms])
+    return run_world(build_world(request))

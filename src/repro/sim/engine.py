@@ -89,6 +89,12 @@ class CongestionSolver:
         #: (src, dst); link order matches ``link_bw``.
         self.route_matrix = topo.route_link_matrix()
         self._zero_latm: Optional[np.ndarray] = None
+        # Hop-dependent latency-model terms are constant per topology:
+        # precompute them once so the batched per-iteration path skips
+        # the table lookups (identical arrays, so identical bits).
+        model = machine.latency
+        self._lat_base, self._lat_coeff = model.hop_coefficients(self.hops)
+        self._hops_zero = self.hops == 0
 
     def congestion(self, matrix: np.ndarray, seconds: float) -> Tuple[np.ndarray, np.ndarray]:
         """Controller and link utilisations for ``matrix`` over ``seconds``."""
@@ -97,6 +103,90 @@ class CongestionSolver:
         link_bytes = (matrix.reshape(-1) * CACHE_LINE_BYTES) @ self.route_matrix
         rho_l = link_bytes / (self.link_bw * seconds)
         return rho_c, rho_l
+
+    def congestion_many(
+        self, stacked: np.ndarray, seconds: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """:meth:`congestion` over a ``(W, n, n)`` stack of access matrices.
+
+        Per-world results are bit-identical to calling :meth:`congestion`
+        on each slice: the column reduction runs over the same length-n
+        axis with the same (sequential) accumulation order, and the
+        link-routing product is issued per world on a contiguous copy of
+        the slice — the exact vector-matrix call shape of the scalar
+        path, so the BLAS kernel (and its summation order) is the same.
+        """
+        col_bytes = stacked.sum(axis=1) * CACHE_LINE_BYTES
+        rho_c = col_bytes / (self.controller_bw * seconds)
+        worlds = stacked.shape[0]
+        # One elementwise multiply for the whole stack (same bits as
+        # multiplying each slice), then the scalar path's exact
+        # vector-matrix call per world on a contiguous row.
+        flat_bytes = stacked.reshape(worlds, -1) * CACHE_LINE_BYTES
+        link_bytes = np.empty((worlds, len(self.link_bw)))
+        for w in range(worlds):
+            link_bytes[w] = flat_bytes[w] @ self.route_matrix
+        rho_l = link_bytes / (self.link_bw * seconds)
+        return rho_c, rho_l
+
+    def latency_matrix_many(
+        self, rho_c: np.ndarray, rho_l: np.ndarray
+    ) -> np.ndarray:
+        """:meth:`latency_matrix` over per-world ``(W, n)`` / ``(W, links)``.
+
+        The latency model is elementwise over broadcast inputs, so adding
+        a leading world axis changes which elements are computed together
+        but not any individual float operation. The zero-congestion memo
+        of the scalar path is itself computed by this same expression,
+        so skipping it here cannot change a bit.
+
+        The body inlines :meth:`LatencyModel.memory_latency_cycles` with
+        the hop tables precomputed at solver construction: every float
+        operation (and its order) matches the model methods exactly, so
+        the per-world result stays bit-identical to the scalar path —
+        this is the innermost line of the batched fixed point, called
+        ``SOLVER_ITERATIONS`` times per group epoch.
+        """
+        model = self.machine.latency
+        burst = self.machine.config.traffic_burstiness
+        n = self.num_nodes
+        worlds = rho_c.shape[0]
+        if self.route_matrix.size:
+            route_rho = (
+                (self.route_matrix * rho_l[:, np.newaxis, :])
+                .max(axis=2)
+                .reshape(worlds, n, n)
+            )
+        else:
+            route_rho = np.zeros((worlds, n, n))
+        rho_cb = rho_c[:, np.newaxis, :] * burst
+        congestion = np.where(
+            self._hops_zero, rho_cb, np.maximum(rho_cb, route_rho * burst)
+        )
+        # queueing(), with the knee constants folded (same formulas on
+        # the same scalars yield the same floats every call).
+        cap = model.rho_cap
+        rho = np.maximum(congestion, 0.0)
+        clamped = np.minimum(rho, cap)
+        q = np.where(
+            rho <= cap,
+            clamped / (1.0 - clamped),
+            cap / (1.0 - cap) + (1.0 / (1.0 - cap) ** 2) * (rho - cap),
+        )
+        cycles = self._lat_base + self._lat_coeff * q
+        return cycles / (model.freq_ghz * 1e9)
+
+    def solve_many(
+        self, stacked: np.ndarray, seconds: float
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One batched congestion + latency pass over stacked worlds.
+
+        Returns ``(rho_c, rho_l, latm)`` with a leading world axis each —
+        the per-iteration work of the multi-run fixed point
+        (:mod:`repro.core.multirun`) as one numpy program.
+        """
+        rho_c, rho_l = self.congestion_many(stacked, seconds)
+        return rho_c, rho_l, self.latency_matrix_many(rho_c, rho_l)
 
     def latency_matrix(
         self, rho_c: np.ndarray, rho_l: np.ndarray
@@ -223,6 +313,26 @@ class EpochStepper:
         self.epoch = 0
         self._latm: Optional[np.ndarray] = None
 
+    @property
+    def latm(self) -> Optional[np.ndarray]:
+        """The damped latency matrix carried across epochs.
+
+        This is the solver state a batched driver
+        (:mod:`repro.core.multirun`) stacks across worlds and writes back
+        after each group epoch; ``None`` until :meth:`initialize` ran.
+        """
+        return self._latm
+
+    @latm.setter
+    def latm(self, value: np.ndarray) -> None:
+        """Adopt ``value`` as the carried matrix; ``value`` is mutated in
+        place by ``setflags(write=False)``. The getter hands out the
+        stored array itself, and a caller scribbling on it would corrupt
+        the next epoch's solver start state (the PR 5 latency-memo bug
+        class), so the stepper freezes what it adopts."""
+        value.setflags(write=False)
+        self._latm = value
+
     def initialize(self) -> None:
         """First-touch every run's pages and seed the idle latency matrix."""
         for run in self.world.runs:
@@ -296,6 +406,7 @@ class EpochStepper:
             iterations += 1
             if self.solver_epsilon is not None and delta <= self.solver_epsilon:
                 break
+        latm.setflags(write=False)
         self._latm = latm
         if self._epoch_cells is not None:
             self._epoch_cells[0].inc()

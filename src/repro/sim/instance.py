@@ -171,13 +171,22 @@ class AppRun:
         self._dest_cache: Optional[
             Tuple[tuple, Tuple[np.ndarray, np.ndarray, np.ndarray]]
         ] = None
+        # One counter watched by every segment placement: the dest-cache
+        # key reads a single integer per epoch instead of scanning each
+        # segment's version (placements are never swapped out of a
+        # RuntimeSegment, so wiring the cell once here is enough).
+        self._placement_epoch = [0]
+        for s in segments:
+            s.placement.version_cell = self._placement_epoch
 
     # ------------------------------------------------------------------
     # Lifecycle
 
     @property
     def finished(self) -> bool:
-        return all(t.finished for t in self.threads)
+        # Checked per run per epoch by both engine drivers; the direct
+        # finish_time test skips a property call per thread.
+        return all(t.finish_time is not None for t in self.threads)
 
     @property
     def num_threads(self) -> int:
@@ -223,10 +232,23 @@ class AppRun:
             over destination nodes, src_nodes[t] its node, active[t]
             whether it still runs.
         """
+        # The placement epoch only grows, and threads never un-finish,
+        # so the monotone counter/count stand in for the full
+        # per-segment and per-thread tuples: any placement or
+        # completion change moves them. Thread homes can move either
+        # way (vCPU migration) and stay a tuple. This key is rebuilt
+        # every epoch — keep it cheap.
+        nodes = []
+        finished = 0
+        for t in self.threads:
+            nodes.append(t.node)
+            if t.finish_time is not None:
+                finished += 1
         key = (
             num_nodes,
-            tuple(s.placement.version for s in self.segments),
-            tuple((t.node, t.finished) for t in self.threads),
+            self._placement_epoch[0],
+            tuple(nodes),
+            finished,
         )
         if self._dest_cache is not None and self._dest_cache[0] == key:
             return self._dest_cache[1]
@@ -271,10 +293,13 @@ class AppRun:
         """
         target = self.op_model.ops_per_thread
         done = 0.0
+        # One bulk float64 -> python-float conversion; tolist() yields
+        # the exact doubles float(ops[tid]) would.
+        ops_list = ops.tolist()
         for t in self.threads:
-            if t.finished:
+            if t.finish_time is not None:
                 continue
-            amount = float(ops[t.tid])
+            amount = ops_list[t.tid]
             if amount <= 0:
                 continue
             remaining = target - t.work_done

@@ -36,6 +36,11 @@ class SegmentPlacement:
         #: Bumped on every mutation — the cache-invalidation token for
         #: views derived from this placement (AppRun.destination_matrix).
         self.version = 0
+        #: Optional one-slot counter (a list) shared with the owning
+        #: run and bumped alongside ``version``: the run's cache key
+        #: reads one integer instead of scanning every segment's
+        #: version each epoch.
+        self.version_cell: Optional[list] = None
 
     def place(self, idx: int, node: int) -> None:
         """Record that page ``idx`` now lives on ``node``."""
@@ -45,6 +50,8 @@ class SegmentPlacement:
         self.nodes[idx] = node
         self.counts[node] += 1
         self.version += 1
+        if self.version_cell is not None:
+            self.version_cell[0] += 1
 
     def release(self, idx: int) -> None:
         """Record that page ``idx`` lost its backing frame."""
@@ -53,6 +60,8 @@ class SegmentPlacement:
             self.counts[old] -= 1
             self.nodes[idx] = -1
             self.version += 1
+            if self.version_cell is not None:
+                self.version_cell[0] += 1
 
     def place_many(self, idxs: np.ndarray, nodes: np.ndarray) -> None:
         """Batch :meth:`place`: one array write, same counts and version.
@@ -73,6 +82,8 @@ class SegmentPlacement:
         self.nodes[idxs] = nodes
         self.counts += np.bincount(nodes, minlength=self.num_nodes)
         self.version += int(idxs.size)
+        if self.version_cell is not None:
+            self.version_cell[0] += int(idxs.size)
 
     def release_many(self, idxs: np.ndarray) -> None:
         """Batch :meth:`release` over duplicate-free ``idxs``.
@@ -91,6 +102,8 @@ class SegmentPlacement:
         self.counts -= np.bincount(old[hit], minlength=self.num_nodes)
         self.nodes[idxs[hit]] = -1
         self.version += released
+        if self.version_cell is not None:
+            self.version_cell[0] += released
 
     @property
     def mapped_pages(self) -> int:

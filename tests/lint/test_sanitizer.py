@@ -150,11 +150,11 @@ class TestHypervisorIntegration:
     def test_config_flag_enables_without_global(self, monkeypatch):
         from repro.lint import sanitizer as mod
 
-        monkeypatch.setattr(mod, "_GLOBALLY_ENABLED", False)
+        monkeypatch.setattr(mod._MODE, "enabled", False)
         config = SimConfig(sanitize_p2m=True)
         hyp = Hypervisor(small_machine(config=config))
         assert hyp.sanitizer is not None
-        monkeypatch.setattr(mod, "_GLOBALLY_ENABLED", False)
+        monkeypatch.setattr(mod._MODE, "enabled", False)
         hyp_off = Hypervisor(small_machine())
         assert hyp_off.sanitizer is None
 

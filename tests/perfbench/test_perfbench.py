@@ -7,7 +7,11 @@ import pytest
 from repro.config import SimConfig
 from repro.lint import sanitizer as p2m_sanitizer
 from repro.perfbench import oracle
-from repro.perfbench.bench import bench_migration, bench_solver
+from repro.perfbench.bench import (
+    bench_migration,
+    bench_multi_run,
+    bench_solver,
+)
 from repro.perfbench.cli import main
 from repro.perfbench.worlds import (
     WORLD_PRESETS,
@@ -156,6 +160,19 @@ class TestMigrationMicrobench:
         b = bench_migration(SimConfig(), repeat=1, pages=256, rounds=3)
         assert a["pages_per_transfer"] == b["pages_per_transfer"]
         assert a["results_match"] == b["results_match"] == 1.0
+
+
+class TestMultiRunBench:
+    def test_batched_sweep_meets_speedup_target(self):
+        """Acceptance bar from the issue: a 16-world sweep through the
+        batched engine is >=3x faster than serial per-run execution,
+        with the full report output byte-identical to the serial path.
+        Measured headroom is ~4x, so the margin absorbs noisy CI
+        hosts."""
+        stats = bench_multi_run(SimConfig(), repeat=3)
+        assert stats["num_worlds"] == 16.0
+        assert stats["results_match"] == 1.0
+        assert stats["speedup"] >= 3.0
 
 
 class TestSolverMicrobench:
