@@ -71,6 +71,11 @@ commands:
                                options: --jobs N  --batch-worlds K
                                         --store DIR  --apps a,b
                                         --page-scale N  --quiet
+  submit <name ...|all> [opts] resolve scenarios through a running
+                               `python -m repro.serve` server
+                               options: --ready-file PATH | --host H --port P
+                                        --apps a,b  --page-scale N  --quiet
+                                        --metrics PATH  --shutdown
   report [output.md]           regenerate the EXPERIMENTS.md report
   <name> [app ...]             legacy form: one experiment, default store
 
@@ -160,6 +165,75 @@ def _run_command(argv: List[str]) -> int:
     return 0
 
 
+def _submit_command(argv: List[str]) -> int:
+    # Imported here: the serve client pulls in asyncio/socket machinery
+    # that plain `run` invocations never need.
+    from repro.obs.trace import write_trace
+    from repro.serve.client import ClientRunner, ServeClient
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments submit",
+        description="Resolve scenarios through a running repro serve server.",
+    )
+    parser.add_argument("names", nargs="+", help="scenario names, or 'all'")
+    parser.add_argument(
+        "--ready-file", default=None, metavar="PATH",
+        help="server address file written by `python -m repro.serve --ready-file`",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="server address")
+    parser.add_argument("--port", type=int, default=None, help="server port")
+    parser.add_argument(
+        "--apps", default=None, metavar="A,B,...",
+        help="comma-separated application subset",
+    )
+    parser.add_argument(
+        "--page-scale", type=int, default=None, metavar="N",
+        help="override SimConfig.page_scale (must match the server's "
+        "config for stored keys to hit)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the per-scenario tables"
+    )
+    parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write the server's live obs snapshot (trace-payload JSON)",
+    )
+    parser.add_argument(
+        "--shutdown", action="store_true",
+        help="ask the server to drain and stop after this submission",
+    )
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return int(exc.code or 0)
+    apps: Optional[List[str]] = args.apps.split(",") if args.apps else None
+    names = registry.scenario_names() if args.names == ["all"] else args.names
+    if args.ready_file is None and args.port is None:
+        print("error: submit needs --ready-file or --host/--port", file=sys.stderr)
+        return 1
+    if args.ready_file is not None:
+        client = ServeClient.from_ready_file(args.ready_file)
+    else:
+        client = ServeClient(args.host, args.port)
+    with ExitStack() as stack:
+        stack.callback(client.close)
+        runner = ClientRunner(client)
+        if args.page_scale is not None:
+            stack.enter_context(common.configured(SimConfig(page_scale=args.page_scale)))
+        for name in names:
+            scenario = registry.get_scenario(name)
+            if not args.quiet:
+                print(f"\n######## {scenario.name} ########\n")
+            scenario.run(apps=apps, verbose=not args.quiet, runner=runner)
+        if args.metrics is not None:
+            write_trace(args.metrics, client.metrics())
+            print(f"metrics written to {args.metrics}")
+        if args.shutdown:
+            client.shutdown()
+    print(runner.summary())
+    return 0
+
+
 def main(argv=None) -> int:
     argv = argv if argv is not None else sys.argv[1:]
     if not argv or argv[0] in ("-h", "--help"):
@@ -171,6 +245,8 @@ def main(argv=None) -> int:
             return _list_command()
         if command == "run":
             return _run_command(argv[1:])
+        if command == "submit":
+            return _submit_command(argv[1:])
         if command == "report":
             from repro.experiments import report
 

@@ -13,12 +13,45 @@ from repro.sim.results import RunResult
 from repro.sim.runspec import RunRequest
 
 
+class _ScopeAllocator:
+    """Hands out deterministic per-process runner ordinals.
+
+    An attribute on one holder object (the ``core.batch`` idiom) rather
+    than a rebound module global, so the dataflow lint can see the write
+    is confined to one owned object. Creation order is deterministic
+    under serial execution, so identical invocations in fresh processes
+    label their cells identically (trace byte-identity holds).
+    """
+
+    __slots__ = ("_next",)
+
+    def __init__(self) -> None:
+        self._next = 1
+
+    def allocate(self) -> str:
+        ordinal = self._next
+        self._next += 1
+        return f"r{ordinal}"
+
+
+_SCOPES = _ScopeAllocator()
+
+
 class RunnerStats:
     """What one runner did across its ``resolve`` calls.
 
     Attribute-compatible with the dataclass this replaced; each field is
     a view over a metric cell registered with the active observability
     session (:mod:`repro.obs`).
+
+    Every cell carries a ``runner=<scope>`` label identifying the owning
+    runner instance. Registering the cells by bare name let two runners
+    in one process (the serve layer holds one per worker) publish
+    indistinguishable ``runner.requested``/``runner.executed`` cells, so
+    any aggregated view — ``python -m repro.obs summary``, a metrics
+    snapshot — double-counted them with no way to attribute work back to
+    a runner. The scope defaults to a deterministic per-process ordinal
+    (``r1``, ``r2``, ...); pass an explicit one to name a runner.
 
     Attributes:
         requested: requests handed to ``resolve`` (before dedup).
@@ -29,14 +62,15 @@ class RunnerStats:
             always ``<= executed``, and 0 unless ``batch_worlds > 1``.
     """
 
-    __slots__ = ("_requested", "_deduplicated", "_executed", "_batched")
+    __slots__ = ("scope", "_requested", "_deduplicated", "_executed", "_batched")
 
-    def __init__(self) -> None:
+    def __init__(self, scope: Optional[str] = None) -> None:
+        self.scope = scope if scope is not None else _SCOPES.allocate()
         reg = obs.registry()
-        self._requested = reg.counter("runner.requested")
-        self._deduplicated = reg.counter("runner.deduplicated")
-        self._executed = reg.counter("runner.executed")
-        self._batched = reg.counter("runner.batched")
+        self._requested = reg.counter("runner.requested", runner=self.scope)
+        self._deduplicated = reg.counter("runner.deduplicated", runner=self.scope)
+        self._executed = reg.counter("runner.executed", runner=self.scope)
+        self._batched = reg.counter("runner.batched", runner=self.scope)
 
     @property
     def requested(self) -> int:
@@ -99,6 +133,8 @@ class Runner:
             entries are byte-identical to serial execution. Takes
             precedence over ``jobs`` for the grouped requests;
             incompatible misses fall back per request.
+        name: label scoping this runner's stats cells in metric
+            snapshots (default: a deterministic per-process ordinal).
     """
 
     def __init__(
@@ -106,11 +142,12 @@ class Runner:
         store: Optional[RunStore] = None,
         jobs: int = 1,
         batch_worlds: int = 1,
+        name: Optional[str] = None,
     ) -> None:
         self.store = store if store is not None else MemoryRunStore()
         self.jobs = max(1, int(jobs))
         self.batch_worlds = max(1, int(batch_worlds))
-        self.stats = RunnerStats()
+        self.stats = RunnerStats(scope=name)
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,43 @@
+"""The serving layer: many clients, one store, one drain pipeline.
+
+``python -m repro.serve`` turns the repository's single-process pipeline
+into a long-lived server: clients submit
+:class:`~repro.sim.runspec.RunRequest` batches over an NDJSON socket
+protocol (:mod:`repro.serve.protocol`), the server deduplicates them
+against a shared — optionally sharded — run store and against each
+other (:mod:`repro.serve.jobs`), and a bounded pool of workers drains
+the misses through the existing :class:`~repro.runner.Runner`
+(:mod:`repro.serve.workers`), grouping compatible requests from
+different clients into structure-of-arrays multi-run executions.
+Results stream back per connection as keys resolve; backpressure,
+per-attempt timeouts, retry-on-worker-death and drain-on-shutdown live
+in :mod:`repro.serve.server`.
+
+Client side, :class:`~repro.serve.client.ClientRunner` duck-types the
+runner surface scenarios consume, so
+``python -m repro.experiments submit fig2`` prints reports
+byte-identical to a local ``run``.
+"""
+
+from repro.serve.client import ClientRunner, ServeClient
+from repro.serve.jobs import Job, JobQueue
+from repro.serve.server import ReproServer, ServeConfig
+from repro.serve.workers import (
+    ExecutionBackend,
+    InlineBackend,
+    ProcessBackend,
+    WorkerDied,
+)
+
+__all__ = [
+    "ClientRunner",
+    "ExecutionBackend",
+    "InlineBackend",
+    "Job",
+    "JobQueue",
+    "ProcessBackend",
+    "ReproServer",
+    "ServeClient",
+    "ServeConfig",
+    "WorkerDied",
+]

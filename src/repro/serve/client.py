@@ -1,0 +1,189 @@
+"""Synchronous serve clients: raw protocol access plus a runner facade.
+
+:class:`ServeClient` speaks the NDJSON protocol over one blocking
+socket — submit batches, stats/metrics snapshots, graceful shutdown.
+:class:`ClientRunner` wraps a client in the duck-typed surface a
+:class:`~repro.runner.runner.ResultSet` drives (``_resolve_into``), so
+scenario ``assemble`` hooks — and therefore the printed reports — are
+byte-identical whether requests resolve through a local
+:class:`~repro.runner.Runner` or over the wire.
+
+The runner facade keeps *client-side* counters. The server's counters
+are cumulative across every client it ever served; the summary line a
+submission prints must describe that submission alone (tooling greps it
+for substrings like ``0 executed``), so hits/executed are counted here
+from the ``cached`` flag of each result message.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.errors import ServeError
+from repro.runner.runner import ResultSet
+from repro.serve import protocol
+from repro.sim.results import RunResult
+from repro.sim.runspec import RunRequest
+
+
+class ServeClient:
+    """One blocking NDJSON connection to a repro serve server."""
+
+    def __init__(self, host: str, port: int, timeout: Optional[float] = None) -> None:
+        self.host = host
+        self.port = int(port)
+        self._sock = socket.create_connection((host, int(port)), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+
+    @classmethod
+    def from_ready_file(
+        cls, path: Union[str, Path], timeout: Optional[float] = None
+    ) -> "ServeClient":
+        """Connect to the address a server's ``--ready-file`` advertised."""
+        info = json.loads(Path(path).read_text())
+        return cls(str(info["host"]), int(info["port"]), timeout=timeout)
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Wire primitives
+
+    def _send(self, message: Dict[str, object]) -> None:
+        self._sock.sendall(protocol.encode(message))
+
+    def _recv(self) -> Dict[str, object]:
+        line = self._reader.readline()
+        if not line:
+            raise ServeError(protocol.ERR_PROTOCOL, "server closed the connection")
+        return protocol.decode(line)
+
+    def _await_op(self, op: str) -> Dict[str, object]:
+        # This client never leaves submissions outstanding across ops, so
+        # the next line must be the matching response.
+        message = self._recv()
+        if message.get("op") != op:
+            raise ServeError(
+                protocol.ERR_PROTOCOL, f"expected {op!r}, got {message!r}"
+            )
+        return message
+
+    # ------------------------------------------------------------------
+    # Operations
+
+    def submit_many(self, requests: Sequence[RunRequest]) -> List[Dict[str, object]]:
+        """Submit ``requests``; one response per request, in request order.
+
+        All submissions go out before any response is read, so the server
+        streams results as keys resolve (out of submit order); responses
+        are reassembled by the echoed ``id``.
+        """
+        for ident, request in enumerate(requests):
+            self._send({"op": "submit", "id": ident, "request": request.to_json()})
+        responses: List[Optional[Dict[str, object]]] = [None] * len(requests)
+        remaining = len(requests)
+        while remaining:
+            message = self._recv()
+            ident = message.get("id")
+            if (
+                not isinstance(ident, int)
+                or not 0 <= ident < len(requests)
+                or responses[ident] is not None
+            ):
+                raise ServeError(
+                    protocol.ERR_PROTOCOL, f"unexpected response {message!r}"
+                )
+            responses[ident] = message
+            remaining -= 1
+        return responses  # type: ignore[return-value]
+
+    def stats(self) -> Dict[str, object]:
+        self._send({"op": "stats"})
+        return self._await_op("stats")
+
+    def metrics(self) -> Dict[str, object]:
+        """The server's live obs snapshot (a validated trace payload)."""
+        self._send({"op": "metrics"})
+        message = self._await_op("metrics")
+        payload = message.get("payload")
+        if not isinstance(payload, dict):
+            raise ServeError(protocol.ERR_PROTOCOL, "metrics response has no payload")
+        return payload
+
+    def shutdown(self) -> None:
+        """Ask for a graceful shutdown; returns once the server said bye
+        (every job admitted before this call has been drained)."""
+        self._send({"op": "shutdown"})
+        self._await_op("bye")
+
+
+class ClientRunner:
+    """The ``Runner`` surface scenarios need, resolved over the wire.
+
+    ``ResultSet`` only ever calls ``_resolve_into``, so handing one of
+    these to ``Scenario.run`` executes the whole pipeline — including
+    two-stage follow-up resolution — against the server.
+    """
+
+    def __init__(self, client: ServeClient) -> None:
+        self.client = client
+        self.requested = 0
+        self.deduplicated = 0
+        self.hits = 0
+        self.executed = 0
+
+    def resolve(self, requests: Sequence[RunRequest]) -> ResultSet:
+        results = ResultSet(self)
+        results.resolve(requests)
+        return results
+
+    def _resolve_into(
+        self, requests: Sequence[RunRequest], out: Dict[str, List[RunResult]]
+    ) -> None:
+        todo: Dict[str, RunRequest] = {}
+        for request in requests:
+            self.requested += 1
+            key = request.cache_key()
+            if key in todo or key in out:
+                self.deduplicated += 1
+            else:
+                todo[key] = request
+        if not todo:
+            return
+        order = list(todo)
+        responses = self.client.submit_many([todo[key] for key in order])
+        for key, message in zip(order, responses):
+            if message.get("op") != "result":
+                code = str(message.get("error", protocol.ERR_PROTOCOL))
+                raise ServeError(
+                    code, f"server did not resolve {key[:12]}…: {code}"
+                )
+            if message.get("cached"):
+                self.hits += 1
+            else:
+                self.executed += 1
+            out[key] = [
+                RunResult.from_json(entry) for entry in message.get("results", [])
+            ]
+
+    def summary(self) -> str:
+        # Shaped like the runner's line but "server:"-prefixed, so report
+        # diffing can strip both with one grep each; keep ", N executed"
+        # greppable (the serve smoke checks ", 0 executed" on a re-run).
+        return (
+            f"server: {self.requested} requests, "
+            f"{self.deduplicated} duplicates coalesced, "
+            f"{self.hits} hits, {self.executed} executed"
+        )

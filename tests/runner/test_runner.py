@@ -1,5 +1,6 @@
 """Runner behaviour: dedup, store hits, and serial/parallel identity."""
 
+from repro import obs
 from repro.config import SimConfig
 from repro.runner import Runner, execute_request
 from repro.runstore import DiskRunStore, MemoryRunStore
@@ -47,6 +48,38 @@ class TestDedupAndStore:
         second.resolve([_linux()])
         assert second.stats.executed == 0
         assert store.stats().hits == 1
+
+    def test_two_runners_publish_distinguishable_stats(self):
+        # Regression: stats cells used to be registered by bare name, so
+        # two runners in one process (the serve layer holds several)
+        # published indistinguishable runner.* cells and every aggregated
+        # view double-counted them. Each cell now carries a runner label.
+        with obs.session() as sess:
+            first = Runner(name="alpha")
+            second = Runner(name="beta")
+            first.resolve([_linux()])
+            second.resolve([_linux(), _linux()])
+            assert first.stats.requested == 1
+            assert second.stats.requested == 2
+            by_scope = {
+                cell["labels"]["runner"]: cell["value"]
+                for cell in sess.registry.snapshot()
+                if cell["name"] == "runner.requested"
+            }
+        assert by_scope["alpha"] == 1
+        assert by_scope["beta"] == 2
+
+    def test_default_scopes_are_distinct(self):
+        with obs.session() as sess:
+            Runner().resolve([_linux()])
+            Runner().resolve([_linux()])
+            scopes = [
+                cell["labels"]["runner"]
+                for cell in sess.registry.snapshot()
+                if cell["name"] == "runner.executed"
+            ]
+        assert len(scopes) == 2
+        assert len(set(scopes)) == 2
 
     def test_summary_has_both_counter_groups(self):
         runner = Runner()

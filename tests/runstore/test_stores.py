@@ -183,6 +183,131 @@ class TestDiskStoreCrashSafety:
         assert len(store) == 0
 
 
+class TestVersionCheckConcurrency:
+    """Engine-version bookkeeping under concurrency (regression tests).
+
+    The original ``_check_engine_version`` wrote the version file with a
+    bare ``write_text`` (a crash could leave a truncated file that purges
+    a current store on the next open) and purged without any
+    inter-process coordination: two processes opening one stale store
+    concurrently purged twice, the slower purge deleting entries the
+    faster opener had already re-saved.
+    """
+
+    def test_version_file_written_atomically(self, tmp_path, monkeypatch):
+        import os as os_module
+
+        replaced = []
+        real_replace = os_module.replace
+
+        def recording_replace(src, dst, **kwargs):
+            replaced.append(str(dst))
+            return real_replace(src, dst, **kwargs)
+
+        monkeypatch.setattr("repro.runstore.disk.os.replace", recording_replace)
+        root = tmp_path / "rs"
+        DiskRunStore(root)
+        assert str(root / "engine_version") in replaced
+        assert (root / "engine_version").read_text().strip() != ""
+
+    def test_second_stale_opener_skips_the_purge(self, tmp_path, monkeypatch):
+        root = tmp_path / "rs"
+        DiskRunStore(root).put(KEY, _results())
+        (root / "engine_version").write_text("0\n")
+        # Process A migrates the store (purge + version rewrite) and
+        # saves a fresh entry.
+        first = DiskRunStore(root)
+        assert first.invalidated_entries() == 1
+        first.put(KEY, _results())
+        # Process B read the stale version *before* A migrated; by the
+        # time B holds the purge lock the version file is current. B
+        # must re-check under the lock and leave A's fresh entry alone.
+        real_read = DiskRunStore._read_version
+        calls = {"n": 0}
+
+        def stale_first_read(self):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                return "0"  # the pre-migration value B observed
+            return real_read(self)
+
+        monkeypatch.setattr(DiskRunStore, "_read_version", stale_first_read)
+        second = DiskRunStore(root)
+        assert calls["n"] >= 2  # re-checked under the lock
+        assert second.invalidated_entries() == 0
+        assert second.get(KEY) == _results()
+
+    def test_purge_runs_under_the_version_lock(self, tmp_path, monkeypatch):
+        import fcntl
+
+        root = tmp_path / "rs"
+        DiskRunStore(root).put(KEY, _results())
+        (root / "engine_version").write_text("0\n")
+        locked_during_purge = []
+        real_purge = DiskRunStore._purge_stale_locked
+
+        def checking_purge(self):
+            # flock is re-entrant within one process only in the sense
+            # that a second LOCK_EX on a *new* fd would block; probe with
+            # a non-blocking attempt instead.
+            probe = open(root / "engine_version.lock", "a")
+            try:
+                fcntl.flock(probe.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                locked_during_purge.append(True)
+            else:
+                fcntl.flock(probe.fileno(), fcntl.LOCK_UN)
+                locked_during_purge.append(False)
+            finally:
+                probe.close()
+            return real_purge(self)
+
+        monkeypatch.setattr(DiskRunStore, "_purge_stale_locked", checking_purge)
+        DiskRunStore(root)
+        assert locked_during_purge == [True]
+
+
+class TestTransientReadErrors:
+    """Satellite regression: only provably-bad entries may be discarded.
+
+    The original ``_load`` treated *any* ``OSError`` as a corrupt entry
+    and unlinked the file — so a transient EACCES/EMFILE (routine under
+    the serve layer's fd pressure) silently destroyed a perfectly good
+    cached run.
+    """
+
+    def test_transient_read_error_is_miss_without_unlink(
+        self, tmp_path, monkeypatch
+    ):
+        from pathlib import Path
+
+        root = tmp_path / "rs"
+        store = DiskRunStore(root)
+        store.put(KEY, _results())
+        entry = root / f"{KEY}.json"
+        real_read_text = Path.read_text
+        flaked = {"n": 0}
+
+        def flaky_read_text(self, *args, **kwargs):
+            if self.name == entry.name and flaked["n"] == 0:
+                flaked["n"] += 1
+                raise PermissionError(13, "transient denial")
+            return real_read_text(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "read_text", flaky_read_text)
+        assert store.get(KEY) is None  # the failed read is a miss...
+        monkeypatch.undo()
+        assert entry.exists()  # ...but the entry survives
+        assert store.get(KEY) == _results()  # and the next read succeeds
+
+    def test_undecodable_entry_still_discarded(self, tmp_path):
+        root = tmp_path / "rs"
+        store = DiskRunStore(root)
+        (root / f"{KEY}.json").write_text('{"engine_version": 3}')  # wrong shape
+        assert store.get(KEY) is None
+        assert not (root / f"{KEY}.json").exists()
+
+
 class TestOpenStore:
     @pytest.mark.parametrize("spec", [None, "", "memory"])
     def test_memory_specs(self, spec):

@@ -1,0 +1,145 @@
+"""Job-queue semantics: dedup attach, backpressure, retry, drain.
+
+No pytest-asyncio in the environment; each test drives its own loop
+through ``asyncio.run``.
+"""
+
+import asyncio
+
+from repro.serve.jobs import ATTACHED, CLOSED, FULL, QUEUED, JobQueue
+from repro.sim.runspec import RunRequest, VmRequest
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+KEY_C = "c" * 64
+
+
+def _request(app="swaptions"):
+    return RunRequest(environment="linux", vms=(VmRequest(app=app),))
+
+
+class TestOffer:
+    def test_new_key_is_queued(self):
+        async def main():
+            queue = JobQueue(maxsize=4)
+            status, future = queue.offer(KEY_A, _request())
+            assert status == QUEUED
+            assert future is not None
+            assert queue.depth() == 1
+            assert queue.pending() == 1
+
+        asyncio.run(main())
+
+    def test_same_key_attaches_not_requeues(self):
+        async def main():
+            queue = JobQueue(maxsize=4)
+            queue.offer(KEY_A, _request())
+            status, future = queue.offer(KEY_A, _request())
+            assert status == ATTACHED
+            assert future is not None
+            assert queue.depth() == 1  # still one job
+
+        asyncio.run(main())
+
+    def test_attach_covers_in_flight_jobs(self):
+        async def main():
+            queue = JobQueue(maxsize=4)
+            queue.offer(KEY_A, _request())
+            job = await queue.next_job()  # picked up: queued -> in flight
+            assert queue.depth() == 0
+            status, future = queue.offer(KEY_A, _request())
+            assert status == ATTACHED
+            queue.finish(job, ["results"])
+            assert await future == ("ok", ["results"])
+
+        asyncio.run(main())
+
+    def test_full_queue_rejects_new_keys(self):
+        async def main():
+            queue = JobQueue(maxsize=1)
+            assert queue.offer(KEY_A, _request())[0] == QUEUED
+            assert queue.offer(KEY_B, _request())[0] == FULL
+            # ... but attaching to the queued key still works.
+            assert queue.offer(KEY_A, _request())[0] == ATTACHED
+
+        asyncio.run(main())
+
+    def test_closed_queue_rejects(self):
+        async def main():
+            queue = JobQueue(maxsize=4)
+            queue.close()
+            assert queue.offer(KEY_A, _request())[0] == CLOSED
+
+        asyncio.run(main())
+
+
+class TestDrain:
+    def test_fifo_order_and_take_extra(self):
+        async def main():
+            queue = JobQueue(maxsize=8)
+            for key in (KEY_A, KEY_B, KEY_C):
+                queue.offer(key, _request())
+            first = await queue.next_job()
+            extra = queue.take_extra(2)
+            assert first.key == KEY_A
+            assert [job.key for job in extra] == [KEY_B, KEY_C]
+            assert queue.depth() == 0
+            assert queue.in_flight() == 3
+
+        asyncio.run(main())
+
+    def test_requeue_goes_to_front_and_bypasses_bound(self):
+        async def main():
+            queue = JobQueue(maxsize=1)
+            queue.offer(KEY_A, _request())
+            job = await queue.next_job()
+            queue.offer(KEY_B, _request())  # fills the queue again
+            queue.requeue(job)  # retried job re-enters above the bound
+            assert queue.depth() == 2
+            assert (await queue.next_job()).key == KEY_A
+
+        asyncio.run(main())
+
+    def test_publish_reaches_every_waiter(self):
+        async def main():
+            queue = JobQueue(maxsize=4)
+            _, first = queue.offer(KEY_A, _request())
+            _, second = queue.offer(KEY_A, _request())
+            job = await queue.next_job()
+            queue.fail(job, "timeout")
+            assert await first == ("failed", "timeout")
+            assert await second == ("failed", "timeout")
+
+        asyncio.run(main())
+
+    def test_next_job_returns_none_once_closed_and_empty(self):
+        async def main():
+            queue = JobQueue(maxsize=4)
+            queue.offer(KEY_A, _request())
+            queue.close()
+            assert (await queue.next_job()).key == KEY_A  # drains first
+            assert await queue.next_job() is None
+
+        asyncio.run(main())
+
+
+class TestDrained:
+    def test_drained_waits_for_in_flight_jobs(self):
+        async def main():
+            queue = JobQueue(maxsize=4)
+            queue.offer(KEY_A, _request())
+            job = await queue.next_job()
+            waiter = asyncio.create_task(queue.drained())
+            await asyncio.sleep(0)
+            assert not waiter.done()  # job still in flight
+            queue.finish(job, [])
+            await asyncio.wait_for(waiter, timeout=5)
+
+        asyncio.run(main())
+
+    def test_drained_is_immediate_when_idle(self):
+        async def main():
+            queue = JobQueue(maxsize=4)
+            await asyncio.wait_for(queue.drained(), timeout=5)
+
+        asyncio.run(main())

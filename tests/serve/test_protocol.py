@@ -1,0 +1,64 @@
+"""Wire-protocol shapes: canonical encoding, deterministic decode errors."""
+
+import json
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import protocol
+
+
+class TestEncodeDecode:
+    def test_round_trip(self):
+        message = {"op": "submit", "id": 3, "request": {"environment": "linux"}}
+        assert protocol.decode(protocol.encode(message)) == message
+
+    def test_encode_is_one_canonical_line(self):
+        line = protocol.encode({"b": 1, "a": 2})
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1
+        assert line == b'{"a":2,"b":1}\n'  # sorted keys, no whitespace
+
+    def test_decode_rejects_non_json(self):
+        with pytest.raises(ServeError) as err:
+            protocol.decode(b"{not json\n")
+        assert err.value.code == protocol.ERR_PROTOCOL
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ServeError) as err:
+            protocol.decode(b"[1, 2]\n")
+        assert err.value.code == protocol.ERR_PROTOCOL
+
+
+class TestBuilders:
+    def test_result_message_carries_key_and_cached_flag(self):
+        message = protocol.result_message(7, "ab" * 32, [{"app": "x"}], cached=True)
+        assert message["ok"] is True
+        assert message["op"] == "result"
+        assert message["id"] == 7
+        assert message["cached"] is True
+        assert message["results"] == [{"app": "x"}]
+
+    def test_reject_message_detail_is_optional(self):
+        bare = protocol.reject_message(1, protocol.ERR_QUEUE_FULL)
+        assert "detail" not in bare
+        assert bare["ok"] is False
+        detailed = protocol.reject_message(1, protocol.ERR_BAD_REQUEST, "no vms")
+        assert detailed["detail"] == "no vms"
+
+    def test_failed_message_records_attempts(self):
+        message = protocol.failed_message(4, protocol.ERR_TIMEOUT, attempts=3)
+        assert message["error"] == protocol.ERR_TIMEOUT
+        assert message["attempts"] == 3
+
+    def test_every_builder_encodes(self):
+        for message in (
+            protocol.result_message(0, "k", [], cached=False),
+            protocol.reject_message(0, protocol.ERR_QUEUE_FULL),
+            protocol.failed_message(0, protocol.ERR_WORKER_DIED, 2),
+            protocol.stats_message({"serve.hits": 1}, "serve: ..."),
+            protocol.metrics_message({"format": "repro-trace"}),
+            protocol.bye_message(),
+            protocol.error_message(protocol.ERR_PROTOCOL, "bad line"),
+        ):
+            assert json.loads(protocol.encode(message).decode()) == message
